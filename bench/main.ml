@@ -1,0 +1,106 @@
+(* Reproduction bench harness.
+
+   Regenerates every table and figure of the paper (Sections 2-6), then
+   the ablation studies, then bechamel microbenchmarks of the scheduler
+   hot paths.  Knobs (environment variables):
+
+     REPRO_SCALE   workload scale (default 1.0 = full months)
+     REPRO_MONTHS  comma-separated subset of month labels
+     REPRO_SEED    generator seed (default 42)
+     REPRO_MAXL    cap on the Figure 6 budget sweep
+     REPRO_ONLY    comma-separated experiment ids to run
+     REPRO_SKIP_MICRO=1  skip the bechamel microbenchmarks *)
+
+open Bechamel
+open Toolkit
+
+let selected () =
+  match Sys.getenv_opt "REPRO_ONLY" with
+  | None | Some "" -> Experiments.Registry.all
+  | Some csv ->
+      String.split_on_char ',' csv
+      |> List.map String.trim
+      |> List.filter_map Experiments.Registry.find
+
+let run_experiments fmt =
+  Format.fprintf fmt
+    "Search-based Job Scheduling for Parallel Computer Workloads@.";
+  Format.fprintf fmt
+    "Reproduction harness (Vasupongayya, Chiang & Massey, Cluster 2005)@.";
+  Format.fprintf fmt "scale=%g seed=%d months=%s@." (Experiments.Common.scale ())
+    (Experiments.Common.seed ())
+    (String.concat ","
+       (List.map
+          (fun m -> m.Workload.Month_profile.label)
+          (Experiments.Common.months ())));
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      e.Experiments.Registry.run fmt;
+      Format.fprintf fmt "[%s done in %.1fs]@." e.Experiments.Registry.id
+        (Unix.gettimeofday () -. t0))
+    (selected ())
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks of the hot kernels                                  *)
+
+let search_test ~budget =
+  Test.make
+    ~name:(Printf.sprintf "dds-search/L=%d" budget)
+    (Staged.stage (fun () ->
+         let state =
+           Experiments.Overhead.synthetic_state ~seed:(17 + budget) ()
+         in
+         ignore (Core.Search.run Core.Search.Dds ~budget state)))
+
+let heuristic_path_test =
+  Test.make ~name:"heuristic-path/30jobs"
+    (Staged.stage (fun () ->
+         (* just the iteration-0 path: one greedy schedule build *)
+         let state = Experiments.Overhead.synthetic_state ~seed:17 () in
+         ignore (Core.Search.run Core.Search.Dds ~budget:31 state)))
+
+let profile_test =
+  let releases =
+    List.init 40 (fun i -> (float_of_int (((i * 977) mod 36000) + 60), 3))
+  in
+  Test.make ~name:"profile/build+place"
+    (Staged.stage (fun () ->
+         let p = Cluster.Profile.of_running ~now:0.0 ~capacity:128 releases in
+         let s = Cluster.Profile.earliest_start p ~nodes:64 ~duration:7200.0 in
+         Cluster.Profile.reserve p ~at:s ~nodes:64 ~duration:7200.0))
+
+let microbench fmt =
+  Format.fprintf fmt "@.%s@.== microbenchmarks (bechamel)@.%s@."
+    (String.make 72 '=') (String.make 72 '=');
+  let tests =
+    [ profile_test; heuristic_path_test ]
+    @ List.map (fun budget -> search_test ~budget) [ 1000; 4000; 8000 ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~stabilize:true ~quota:(Time.second 1.0) ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (time_per_run :: _) ->
+              Format.fprintf fmt "%-28s %12.3f ms/run@." name
+                (time_per_run /. 1e6)
+          | _ -> Format.fprintf fmt "%-28s (no estimate)@." name)
+        results)
+    tests
+
+let () =
+  let fmt = Format.std_formatter in
+  let t0 = Unix.gettimeofday () in
+  run_experiments fmt;
+  if Sys.getenv_opt "REPRO_SKIP_MICRO" = None then microbench fmt;
+  Format.fprintf fmt "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,42 @@
+(* Explore the target-wait-bound design space of the goal-oriented
+   objective (Section 5 of the paper): fixed bounds of various sizes,
+   the dynamic bound, and the runtime-scaled future-work bound.
+
+   Run with:  dune exec examples/bound_tuning.exe *)
+
+let () =
+  let profile = Workload.Month_profile.find "9/03" in
+  let config = { Workload.Generator.default_config with scale = 0.25; seed = 23 } in
+  let trace = Workload.Generator.month ~config profile in
+  Format.printf "month 9/03 (original load): %s@."
+    (Workload.Trace.concat_stats trace);
+
+  let bounds =
+    [
+      ("w=0h (pure avg wait)", Core.Bound.Fixed 0.0);
+      ("w=10h", Core.Bound.fixed_hours 10.0);
+      ("w=50h", Core.Bound.fixed_hours 50.0);
+      ("w=300h", Core.Bound.fixed_hours 300.0);
+      ("dynB", Core.Bound.dynamic);
+      ( "rtB(1h + 2T)",
+        Core.Bound.Runtime_scaled { floor = Simcore.Units.hour; factor = 2.0 } );
+    ]
+  in
+  Format.printf "@.%-24s %9s %9s %9s@." "bound" "avgW(h)" "maxW(h)" "avgBsld";
+  List.iter
+    (fun (label, bound) ->
+      let config =
+        Core.Search_policy.v ~algorithm:Core.Search.Dds
+          ~heuristic:Core.Branching.Lxf ~bound ~budget:1000 ()
+      in
+      let policy = fst (Core.Search_policy.policy config) in
+      let run = Sim.Run.simulate ~r_star:Sim.Engine.Actual ~policy trace in
+      let agg = run.Sim.Run.aggregate in
+      Format.printf "%-24s %9.2f %9.2f %9.1f@." label
+        (Metrics.Aggregate.avg_wait_hours agg)
+        (Metrics.Aggregate.max_wait_hours agg)
+        agg.Metrics.Aggregate.avg_bounded_slowdown)
+    bounds;
+  Format.printf
+    "@.The paper's conclusion: very small or very large fixed bounds are@.\
+     detrimental; the dynamic bound adapts without manual tuning.@."

@@ -1,0 +1,29 @@
+(* Quickstart: generate a small synthetic month, schedule it with the
+   paper's headline policy (DDS/lxf/dynB) and the two backfill
+   baselines, and print the headline measures.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* A scaled-down July 2003 so the example finishes in seconds. *)
+  let profile = Workload.Month_profile.find "7/03" in
+  let config = { Workload.Generator.default_config with scale = 0.15; seed = 7 } in
+  let trace = Workload.Generator.month ~config profile in
+  Format.printf "workload: %s@." (Workload.Trace.concat_stats trace);
+
+  let search_policy, _stats =
+    Core.Search_policy.policy (Core.Search_policy.dds_lxf_dynb ~budget:1000)
+  in
+  let policies = [ Sched.Backfill.fcfs; Sched.Backfill.lxf; search_policy ] in
+
+  Format.printf "@.%-22s %10s %10s %10s@." "policy" "avg wait" "max wait"
+    "avg bsld";
+  List.iter
+    (fun policy ->
+      let run = Sim.Run.simulate ~r_star:Sim.Engine.Actual ~policy trace in
+      let agg = run.Sim.Run.aggregate in
+      Format.printf "%-22s %9.2fh %9.2fh %10.1f@." run.Sim.Run.policy_name
+        (Metrics.Aggregate.avg_wait_hours agg)
+        (Metrics.Aggregate.max_wait_hours agg)
+        agg.Metrics.Aggregate.avg_bounded_slowdown)
+    policies

@@ -1,0 +1,8 @@
+type t = { nodes : int }
+
+let v ~nodes =
+  if nodes < 1 then invalid_arg "Machine.v: nodes must be >= 1";
+  { nodes }
+
+let titan = v ~nodes:128
+let fits t (j : Workload.Job.t) = j.nodes <= t.nodes

@@ -1,0 +1,195 @@
+type t = {
+  capacity : int;
+  mutable times : float array;
+  mutable free : int array;
+  mutable len : int;
+}
+
+let capacity t = t.capacity
+let segment_count t = t.len
+let start_time t = t.times.(0)
+
+let create ~now ~capacity =
+  if capacity < 1 then invalid_arg "Profile.create: capacity < 1";
+  {
+    capacity;
+    times = Array.make 16 now;
+    free = Array.make 16 capacity;
+    len = 1;
+  }
+
+let ensure_capacity t needed =
+  let cap = Array.length t.times in
+  if needed > cap then begin
+    let cap' = max needed (cap * 2) in
+    let times' = Array.make cap' 0.0 in
+    let free' = Array.make cap' 0 in
+    Array.blit t.times 0 times' 0 t.len;
+    Array.blit t.free 0 free' 0 t.len;
+    t.times <- times';
+    t.free <- free'
+  end
+
+(* Insert a segment boundary at position [idx]. *)
+let insert t idx time free =
+  ensure_capacity t (t.len + 1);
+  Array.blit t.times idx t.times (idx + 1) (t.len - idx);
+  Array.blit t.free idx t.free (idx + 1) (t.len - idx);
+  t.times.(idx) <- time;
+  t.free.(idx) <- free;
+  t.len <- t.len + 1
+
+(* Merge adjacent segments with equal free counts (in place, O(n)). *)
+let normalize t =
+  let w = ref 0 in
+  for r = 1 to t.len - 1 do
+    if t.free.(r) <> t.free.(!w) then begin
+      incr w;
+      t.times.(!w) <- t.times.(r);
+      t.free.(!w) <- t.free.(r)
+    end
+  done;
+  t.len <- !w + 1
+
+let of_running ~now ~capacity releases =
+  let t = create ~now ~capacity in
+  let live =
+    List.filter (fun (end_time, _) -> end_time > now) releases
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+  in
+  let busy = List.fold_left (fun acc (_, n) -> acc + n) 0 live in
+  if busy > capacity then
+    invalid_arg "Profile.of_running: running jobs exceed capacity";
+  (* Build segments left to right: free grows at each release. *)
+  let current = ref (capacity - busy) in
+  t.free.(0) <- !current;
+  List.iter
+    (fun (end_time, nodes) ->
+      current := !current + nodes;
+      if t.times.(t.len - 1) = end_time then t.free.(t.len - 1) <- !current
+      else begin
+        ensure_capacity t (t.len + 1);
+        t.times.(t.len) <- end_time;
+        t.free.(t.len) <- !current;
+        t.len <- t.len + 1
+      end)
+    live;
+  normalize t;
+  t
+
+let segments t =
+  List.init t.len (fun i -> (t.times.(i), t.free.(i)))
+
+(* Index of the segment containing [time]. *)
+let locate t time =
+  if time < t.times.(0) then
+    invalid_arg "Profile.locate: time before profile start";
+  let rec search lo hi =
+    (* invariant: times.(lo) <= time and (hi = len or times.(hi) > time) *)
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.times.(mid) <= time then search mid hi else search lo mid
+  in
+  search 0 t.len
+
+let free_at t time = t.free.(locate t time)
+
+let fits_at t ~at ~nodes ~duration =
+  let finish = at +. duration in
+  let rec check k =
+    if k >= t.len || t.times.(k) >= finish then true
+    else t.free.(k) >= nodes && check (k + 1)
+  in
+  let i = locate t at in
+  t.free.(i) >= nodes && check (i + 1)
+
+let earliest_start t ~nodes ~duration =
+  if nodes > t.capacity then
+    invalid_arg "Profile.earliest_start: job wider than machine";
+  if duration <= 0.0 then
+    invalid_arg "Profile.earliest_start: duration must be positive";
+  (* Candidate starts are segment boundaries where enough nodes are
+     free; on failure inside the window, resume from the segment that
+     failed. *)
+  let rec from i =
+    if i >= t.len then t.times.(t.len - 1)
+    else if t.free.(i) < nodes then from (i + 1)
+    else begin
+      let s = t.times.(i) in
+      let finish = s +. duration in
+      let rec check k =
+        if k >= t.len || t.times.(k) >= finish then `Fits
+        else if t.free.(k) >= nodes then check (k + 1)
+        else `Blocked k
+      in
+      match check (i + 1) with `Fits -> s | `Blocked k -> from (k + 1)
+    end
+  in
+  from 0
+
+let reserve t ~at ~nodes ~duration =
+  if duration <= 0.0 then invalid_arg "Profile.reserve: duration <= 0";
+  let finish = at +. duration in
+  let i = locate t at in
+  let i =
+    if t.times.(i) < at then begin
+      insert t (i + 1) at t.free.(i);
+      i + 1
+    end
+    else i
+  in
+  (* Walk segments covered by [at, finish), splitting the last one. *)
+  let rec claim k =
+    if k >= t.len then
+      (* reservation extends past the last boundary: split the final
+         infinite segment at [finish] *)
+      insert t t.len finish t.free.(t.len - 1)
+    else if t.times.(k) < finish then claim (k + 1)
+    else if t.times.(k) > finish then insert t k finish t.free.(k - 1)
+  in
+  claim (i + 1);
+  let rec subtract k =
+    if k < t.len && t.times.(k) < finish then begin
+      if t.free.(k) < nodes then
+        invalid_arg "Profile.reserve: insufficient free nodes";
+      t.free.(k) <- t.free.(k) - nodes;
+      subtract (k + 1)
+    end
+  in
+  subtract i;
+  normalize t
+
+let copy t =
+  {
+    capacity = t.capacity;
+    times = Array.sub t.times 0 t.len;
+    free = Array.sub t.free 0 t.len;
+    len = t.len;
+  }
+
+let copy_into ~src ~dst =
+  if src.capacity <> dst.capacity then
+    invalid_arg "Profile.copy_into: capacity mismatch";
+  ensure_capacity dst src.len;
+  Array.blit src.times 0 dst.times 0 src.len;
+  Array.blit src.free 0 dst.free 0 src.len;
+  dst.len <- src.len
+
+let pp fmt t =
+  Format.fprintf fmt "[";
+  for i = 0 to t.len - 1 do
+    if i > 0 then Format.fprintf fmt " ";
+    Format.fprintf fmt "%a:%d" Simcore.Units.pp_duration t.times.(i)
+      t.free.(i)
+  done;
+  Format.fprintf fmt "]"
+
+let invariant t =
+  let ok = ref (t.len >= 1) in
+  for i = 0 to t.len - 1 do
+    if t.free.(i) < 0 || t.free.(i) > t.capacity then ok := false;
+    if i > 0 && t.times.(i) <= t.times.(i - 1) then ok := false;
+    if i > 0 && t.free.(i) = t.free.(i - 1) then ok := false
+  done;
+  !ok

@@ -1,0 +1,64 @@
+(** Availability profile: free nodes as a step function of time.
+
+    The profile is the shared substrate of both the backfill schedulers
+    and the search policies' path builder: it answers "when is the
+    earliest time a job of width [nodes] can run for [duration]?" and
+    records tentative placements.
+
+    Segment [i] spans [time i, time (i+1)) with [free i] nodes free;
+    the last segment extends to infinity.  The representation is a pair
+    of flat arrays and every operation mutates in place; tree search
+    backtracks by restoring an O(segments) snapshot via {!copy_into},
+    which keeps the hot path allocation-free. *)
+
+type t
+
+val create : now:float -> capacity:int -> t
+(** Fully-free machine from [now] onward. *)
+
+val of_running :
+  now:float -> capacity:int -> (float * int) list -> t
+(** [of_running ~now ~capacity releases] builds the profile implied by
+    the currently running jobs; [releases] are [(end_time, nodes)]
+    pairs (estimated ends).  End times at or before [now] release
+    immediately.  @raise Invalid_argument if running jobs oversubscribe
+    the machine. *)
+
+val capacity : t -> int
+val segment_count : t -> int
+
+val start_time : t -> float
+(** Time at which the profile begins (the [now] it was built for). *)
+
+val free_at : t -> float -> int
+(** Free nodes at a given instant (>= start time). *)
+
+val segments : t -> (float * int) list
+(** [(start, free)] list for inspection and tests. *)
+
+val earliest_start : t -> nodes:int -> duration:float -> float
+(** First time [s >= start_time] such that at least [nodes] nodes are
+    free during the whole of [\[s, s + duration)].
+    @raise Invalid_argument if [nodes] exceeds capacity or
+    [duration <= 0]. *)
+
+val fits_at : t -> at:float -> nodes:int -> duration:float -> bool
+(** Whether [nodes] nodes are free during [\[at, at + duration)]. *)
+
+val reserve : t -> at:float -> nodes:int -> duration:float -> unit
+(** Subtract [nodes] from the free count during [\[at, at+duration)].
+    @raise Invalid_argument if this would drive any segment negative
+    (i.e. the caller did not check {!fits_at} / {!earliest_start}). *)
+
+val copy : t -> t
+val copy_into : src:t -> dst:t -> unit
+(** Restore [dst] to the state of [src]; both must share a capacity.
+    Grows [dst]'s buffers if needed. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the step function, e.g. ["[0s:12 3600s:64 7200s:128]"]. *)
+
+val invariant : t -> bool
+(** Structural invariant: times strictly increasing, free counts within
+    [\[0, capacity\]], adjacent segments with equal free counts merged.
+    Used by tests. *)

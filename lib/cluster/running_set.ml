@@ -1,0 +1,54 @@
+type entry = {
+  job : Workload.Job.t;
+  start : float;
+  finish : float;
+  est_finish : float;
+}
+
+type t = {
+  machine : Machine.t;
+  table : (int, entry) Hashtbl.t;
+  mutable busy : int;
+}
+
+let create ~machine = { machine; table = Hashtbl.create 64; busy = 0 }
+let machine t = t.machine
+let busy_nodes t = t.busy
+let free_nodes t = t.machine.Machine.nodes - t.busy
+let count t = Hashtbl.length t.table
+let is_empty t = count t = 0
+
+let add t entry =
+  let id = entry.job.Workload.Job.id in
+  if Hashtbl.mem t.table id then
+    invalid_arg (Printf.sprintf "Running_set.add: job %d already running" id);
+  if entry.job.Workload.Job.nodes > free_nodes t then
+    invalid_arg
+      (Printf.sprintf "Running_set.add: job %d oversubscribes machine" id);
+  Hashtbl.add t.table id entry;
+  t.busy <- t.busy + entry.job.Workload.Job.nodes
+
+let remove t ~id =
+  match Hashtbl.find_opt t.table id with
+  | None -> raise Not_found
+  | Some entry ->
+      Hashtbl.remove t.table id;
+      t.busy <- t.busy - entry.job.Workload.Job.nodes;
+      entry
+
+let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+
+let releases t ~now =
+  Hashtbl.fold
+    (fun _ e acc ->
+      let finish = Float.max e.est_finish (now +. 1e-6) in
+      (finish, e.job.Workload.Job.nodes) :: acc)
+    t.table []
+
+let next_finish t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match acc with
+      | None -> Some e.finish
+      | Some best -> Some (Float.min best e.finish))
+    t.table None

@@ -1,0 +1,42 @@
+(** The set of currently executing jobs.
+
+    Tracks, for every running job, its start time, its true completion
+    time (known to the simulator) and its *estimated* completion time
+    (known to the scheduler: start + R*, where R* is the runtime the
+    policy was configured to trust).  Provides the release list from
+    which schedulers build an availability {!Profile}. *)
+
+type entry = {
+  job : Workload.Job.t;
+  start : float;
+  finish : float;  (** true end: start + min(T, R) *)
+  est_finish : float;  (** scheduler-visible end: start + R* *)
+}
+
+type t
+
+val create : machine:Machine.t -> t
+val machine : t -> Machine.t
+
+val busy_nodes : t -> int
+val free_nodes : t -> int
+val count : t -> int
+val is_empty : t -> bool
+
+val add : t -> entry -> unit
+(** @raise Invalid_argument if the job oversubscribes the machine or is
+    already running. *)
+
+val remove : t -> id:int -> entry
+(** Remove a job at departure.  @raise Not_found if absent. *)
+
+val entries : t -> entry list
+(** All running entries, unspecified order. *)
+
+val releases : t -> now:float -> (float * int) list
+(** [(estimated end, nodes)] pairs for profile construction; estimated
+    ends already in the past are reported as just after [now] (a job
+    that outlives its estimate still holds its nodes). *)
+
+val next_finish : t -> float option
+(** Earliest true completion time among running jobs. *)

@@ -1,0 +1,28 @@
+type t =
+  | Fixed of float
+  | Dynamic
+  | Runtime_scaled of { floor : float; factor : float }
+
+let fixed_hours h = Fixed (Simcore.Units.hours h)
+let dynamic = Dynamic
+
+let name = function
+  | Fixed w -> Printf.sprintf "w=%gh" (Simcore.Units.to_hours w)
+  | Dynamic -> "dynB"
+  | Runtime_scaled { floor; factor } ->
+      Printf.sprintf "rtB(%gh+%gT)" (Simcore.Units.to_hours floor) factor
+
+let thresholds t ~now ~r_star jobs =
+  match t with
+  | Fixed w -> Array.map (fun _ -> w) jobs
+  | Dynamic ->
+      let longest =
+        Array.fold_left
+          (fun acc (j : Workload.Job.t) -> Float.max acc (now -. j.submit))
+          0.0 jobs
+      in
+      Array.map (fun _ -> longest) jobs
+  | Runtime_scaled { floor; factor } ->
+      Array.map
+        (fun j -> Float.max floor (factor *. r_star j))
+        jobs

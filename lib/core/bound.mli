@@ -1,0 +1,34 @@
+(** Target wait bounds for the excessive-wait goal.
+
+    The first-level objective charges a job only for wait time beyond a
+    target bound.  The paper studies a fixed bound omega (Section 5.1)
+    and a dynamic bound equal to the waiting time of the job that has
+    currently been waiting longest (Section 5.2, "dynB").  The
+    runtime-scaled bound is the future-work extension sketched in
+    Section 6.1: give short jobs a tighter bound, proportional to their
+    estimated runtime, with a floor. *)
+
+type t =
+  | Fixed of float  (** bound = omega seconds, same for every job *)
+  | Dynamic
+      (** bound = longest current wait among queued jobs at the
+          decision time (zero when the queue is empty) *)
+  | Runtime_scaled of { floor : float; factor : float }
+      (** per-job bound = max(floor, factor x estimated runtime) *)
+
+val fixed_hours : float -> t
+(** [fixed_hours h] is [Fixed] with [h] hours. *)
+
+val dynamic : t
+
+val name : t -> string
+(** Short name used in policy labels, e.g. "dynB", "w=50h". *)
+
+val thresholds :
+  t ->
+  now:float ->
+  r_star:(Workload.Job.t -> float) ->
+  Workload.Job.t array ->
+  float array
+(** Per-job wait-time thresholds (seconds) for the given waiting jobs
+    at a decision point. *)

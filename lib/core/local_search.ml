@@ -1,0 +1,57 @@
+(* Evaluate a complete consideration order by replaying it. *)
+let evaluate state order starts =
+  let n = Array.length order in
+  for depth = 0 to n - 1 do
+    let s = Search_state.place state ~depth ~job:order.(depth) in
+    starts.(depth) <- s
+  done;
+  let obj = Search_state.leaf_objective state in
+  for depth = n - 1 downto 0 do
+    Search_state.unplace state ~depth
+  done;
+  obj
+
+let improve ~budget state (result : Search.result) =
+  let n = Array.length result.Search.best_order in
+  if n < 2 then result
+  else begin
+    let order = Array.copy result.Search.best_order in
+    let starts = Array.copy result.Search.best_starts in
+    let scratch = Array.make n 0.0 in
+    let best = ref result.Search.best in
+    let improved_any = ref false in
+    let spent = ref 0 in
+    let continue = ref true in
+    while !continue do
+      continue := false;
+      let i = ref 0 in
+      while !i < n - 1 && !spent < budget do
+        let swap () =
+          let tmp = order.(!i) in
+          order.(!i) <- order.(!i + 1);
+          order.(!i + 1) <- tmp
+        in
+        swap ();
+        let candidate = evaluate state order scratch in
+        spent := !spent + n;
+        if Objective.is_better ~candidate ~incumbent:!best then begin
+          best := candidate;
+          Array.blit scratch 0 starts 0 n;
+          improved_any := true;
+          continue := true
+        end
+        else swap () (* revert *);
+        incr i
+      done;
+      if !spent >= budget then continue := false
+    done;
+    if not !improved_any then result
+    else
+      {
+        result with
+        Search.best = !best;
+        best_order = order;
+        best_starts = starts;
+        nodes_visited = Search_state.nodes_visited state;
+      }
+  end

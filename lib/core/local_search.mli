@@ -1,0 +1,13 @@
+(** Local-search post-pass (the future-work hybrid of Section 2.2).
+
+    After the complete search returns its incumbent, repeatedly try
+    swapping adjacent jobs in the best consideration order and keep any
+    swap that improves the two-level objective (first-improvement hill
+    climbing).  Each candidate evaluation replays the whole path, so
+    its node cost is the path length; the pass stops when a sweep finds
+    no improvement or the extra node budget is spent. *)
+
+val improve :
+  budget:int -> Search_state.t -> Search.result -> Search.result
+(** [improve ~budget state result] returns a result at least as good as
+    [result]; [nodes_visited] includes the evaluation cost. *)

@@ -1,0 +1,228 @@
+type algorithm = Dfs | Lds | Lds_original | Dds
+
+let algorithm_name = function
+  | Dfs -> "dfs"
+  | Lds -> "lds"
+  | Lds_original -> "lds0"
+  | Dds -> "dds"
+
+type result = {
+  best : Objective.t;
+  best_order : int array;
+  best_starts : float array;
+  nodes_visited : int;
+  leaves_evaluated : int;
+  iterations : int;
+  exhausted : bool;
+}
+
+exception Budget_spent
+
+type driver = {
+  state : Search_state.t;
+  n : int;
+  budget : int;
+  prune : bool;
+  mutable enforce_budget : bool;
+  mutable best : Objective.t option;
+  mutable best_order : int array;
+  mutable best_starts : float array;
+  mutable leaves : int;
+}
+
+let record_leaf d =
+  let obj = Search_state.leaf_objective d.state in
+  d.leaves <- d.leaves + 1;
+  let better =
+    match d.best with
+    | None -> true
+    | Some incumbent -> Objective.is_better ~candidate:obj ~incumbent
+  in
+  if better then begin
+    d.best <- Some obj;
+    for depth = 0 to d.n - 1 do
+      d.best_order.(depth) <- Search_state.chosen d.state ~depth;
+      d.best_starts.(depth) <- Search_state.start_at d.state ~depth
+    done
+  end
+
+let check_budget d =
+  if d.enforce_budget && Search_state.nodes_visited d.state >= d.budget then
+    raise Budget_spent
+
+(* Branch-and-bound: a partial schedule is hopeless when its excess
+   already exceeds the incumbent's, or ties it while even the best
+   possible completion (the minimum per-job secondary contribution for
+   each remaining job) cannot beat the incumbent's secondary sum. *)
+let hopeless d ~depth =
+  d.prune
+  &&
+  match d.best with
+  | None -> false
+  | Some best ->
+      let partial = Search_state.partial d.state ~depth in
+      let remaining = d.n - depth - 1 in
+      if partial.Objective.excess > best.Objective.excess +. 1e-9 then true
+      else if partial.Objective.excess < best.Objective.excess -. 1e-9 then
+        false
+      else
+        partial.Objective.secondary_sum
+        +. (float_of_int remaining
+           *. Objective.min_contribution (Search_state.secondary d.state))
+        >= best.Objective.secondary_sum -. 1e-9
+
+(* Visit the child of rank [rank] at [depth]; run [k] on the resulting
+   node; backtrack.  Returns false when no such child exists. *)
+let descend d ~depth ~rank k =
+  match Search_state.nth_unused d.state rank with
+  | None -> false
+  | Some job ->
+      check_budget d;
+      let (_ : float) = Search_state.place d.state ~depth ~job in
+      if depth = d.n - 1 then begin
+        if not (hopeless d ~depth) then record_leaf d
+      end
+      else if not (hopeless d ~depth) then k ();
+      Search_state.unplace d.state ~depth;
+      true
+
+(* The pure heuristic path: rank 0 at every depth. *)
+let heuristic_path d =
+  let rec go depth =
+    let (_ : bool) = descend d ~depth ~rank:0 (fun () -> go (depth + 1)) in
+    ()
+  in
+  go 0
+
+(* Original LDS iteration k (Harvey & Ginsberg): all paths with at
+   most [k] discrepancies, left to right — earlier iterations' paths
+   are re-visited, spending budget on repeats. *)
+let lds_original_iteration d k =
+  let rec go depth remaining =
+    let children = d.n - depth in
+    for rank = 0 to children - 1 do
+      let cost = if rank = 0 then 0 else 1 in
+      if cost <= remaining then
+        let (_ : bool) =
+          descend d ~depth ~rank (fun () -> go (depth + 1) (remaining - cost))
+        in
+        ()
+    done
+  in
+  go 0 (min k (d.n - 1))
+
+(* LDS iteration k: all paths with exactly [k] discrepancies, explored
+   left to right. *)
+let lds_iteration d k =
+  let rec go depth remaining =
+    (* Only descend if [remaining] discrepancies can still be consumed
+       strictly below: one per level with >= 2 children. *)
+    let max_below next_depth = Stdlib.max 0 (d.n - 1 - next_depth) in
+    let children = d.n - depth in
+    let try_rank rank =
+      let cost = if rank = 0 then 0 else 1 in
+      if cost <= remaining && remaining - cost <= max_below (depth + 1) then
+        let (_ : bool) =
+          descend d ~depth ~rank (fun () -> go (depth + 1) (remaining - cost))
+        in
+        ()
+    in
+    for rank = 0 to children - 1 do
+      try_rank rank
+    done
+  in
+  if k <= d.n - 1 then go 0 k
+
+(* DDS iteration i >= 1: any child above choice-depth i-1, a forced
+   discrepancy at i-1, heuristic only below. *)
+let dds_iteration d i =
+  let forced = i - 1 in
+  let rec go depth =
+    if depth < forced then
+      for rank = 0 to d.n - depth - 1 do
+        let (_ : bool) = descend d ~depth ~rank (fun () -> go (depth + 1)) in
+        ()
+      done
+    else if depth = forced then
+      for rank = 1 to d.n - depth - 1 do
+        let (_ : bool) = descend d ~depth ~rank (fun () -> go (depth + 1)) in
+        ()
+      done
+    else
+      let (_ : bool) = descend d ~depth ~rank:0 (fun () -> go (depth + 1)) in
+      ()
+  in
+  (* a discrepancy needs >= 2 children at the forced depth *)
+  if forced <= d.n - 2 then go 0
+
+let dfs_all d =
+  let rec go depth =
+    for rank = 0 to d.n - depth - 1 do
+      let (_ : bool) = descend d ~depth ~rank (fun () -> go (depth + 1)) in
+      ()
+    done
+  in
+  go 0
+
+let run ?(prune = false) algorithm ~budget state =
+  let n = Search_state.job_count state in
+  if n = 0 then invalid_arg "Search.run: no waiting jobs";
+  let d =
+    {
+      state;
+      n;
+      budget;
+      prune;
+      enforce_budget = false;
+      best = None;
+      best_order = Array.make n (-1);
+      best_starts = Array.make n 0.0;
+      leaves = 0;
+    }
+  in
+  (* Iteration 0 (the heuristic path) ignores the budget so the policy
+     always has a complete schedule to fall back on. *)
+  heuristic_path d;
+  d.enforce_budget <- true;
+  let iterations = ref 1 in
+  let exhausted = ref false in
+  begin
+    try
+      begin
+        match algorithm with
+        | Dfs ->
+            (* The heuristic path was already visited; plain DFS re-walks
+               it (its node count includes the repeat, as in any restart
+               strategy). *)
+            dfs_all d
+        | Lds ->
+            for k = 1 to n - 1 do
+              lds_iteration d k;
+              incr iterations
+            done
+        | Lds_original ->
+            for k = 1 to n - 1 do
+              lds_original_iteration d k;
+              incr iterations
+            done
+        | Dds ->
+            for i = 1 to n - 1 do
+              dds_iteration d i;
+              incr iterations
+            done
+      end;
+      exhausted := true
+    with Budget_spent -> Search_state.reset state
+  end;
+  match d.best with
+  | None -> assert false (* iteration 0 always records a leaf *)
+  | Some best ->
+      {
+        best;
+        best_order = d.best_order;
+        best_starts = d.best_starts;
+        nodes_visited = Search_state.nodes_visited state;
+        leaves_evaluated = d.leaves;
+        iterations = !iterations;
+        exhausted = !exhausted;
+      }

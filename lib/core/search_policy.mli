@@ -1,0 +1,59 @@
+(** The goal-oriented, search-based scheduling policies (Section 2.3).
+
+    A policy is a combination of search algorithm (DDS or LDS),
+    branching heuristic (fcfs or lxf), target wait bound (fixed or
+    dynamic) and node budget L, named as in the paper — e.g.
+    ["DDS/lxf/dynB(L=1K)"] is the paper's headline policy.
+
+    At each decision point the policy builds the availability profile,
+    ranks the waiting jobs by the branching heuristic, searches the
+    job-order tree for the schedule minimizing the two-level objective
+    and starts the jobs whose best-schedule start time is *now*. *)
+
+type config = {
+  algorithm : Search.algorithm;
+  heuristic : Branching.t;
+  bound : Bound.t;
+  budget : int;  (** the paper's L: max nodes visited per decision *)
+  prune : bool;  (** branch-and-bound extension (off = paper) *)
+  local_search : bool;  (** post-search swap improvement extension *)
+  fairshare : float option;
+      (** when [Some penalty], per-job thresholds are inflated by
+          [1 + penalty * user's decayed usage share] (Section 7
+          future-work extension; [None] = paper behaviour) *)
+  goal : Objective.secondary;
+      (** the declared second-level goal ([Bounded_slowdown] = paper) *)
+}
+
+val v :
+  ?prune:bool ->
+  ?local_search:bool ->
+  ?fairshare:float ->
+  ?goal:Objective.secondary ->
+  algorithm:Search.algorithm ->
+  heuristic:Branching.t ->
+  bound:Bound.t ->
+  budget:int ->
+  unit ->
+  config
+
+val dds_lxf_dynb : budget:int -> config
+(** The paper's best policy: DDS / lxf / dynamic bound. *)
+
+val name : config -> string
+
+type stats = {
+  decisions : int;  (** decision points at which the search ran *)
+  total_nodes : int;  (** nodes visited across all decisions *)
+  total_leaves : int;
+  max_queue : int;  (** largest waiting-queue length seen *)
+}
+
+val policy : config -> Sched.Policy.t * (unit -> stats)
+(** The scheduling policy plus an accessor for cumulative search
+    statistics (used by the overhead experiment). *)
+
+val decide_detailed :
+  config -> Sched.Policy.context -> Search.result option
+(** Run the search for one decision point and expose the raw result
+    ([None] when no jobs wait).  For tests and analyses. *)

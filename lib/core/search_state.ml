@@ -1,0 +1,97 @@
+type t = {
+  now : float;
+  secondary : Objective.secondary;
+  jobs : Workload.Job.t array;
+  durations : float array;
+  thresholds : float array;
+  base : Cluster.Profile.t;
+  profiles : Cluster.Profile.t array;  (* one snapshot per depth *)
+  used : bool array;
+  chosen : int array;
+  starts : float array;
+  partials : Objective.t array;
+  mutable visited : int;
+}
+
+let create ?(secondary = Objective.Bounded_slowdown) ~now ~profile ~jobs
+    ~durations ~thresholds () =
+  let n = Array.length jobs in
+  if Array.length durations <> n || Array.length thresholds <> n then
+    invalid_arg "Search_state.create: array length mismatch";
+  {
+    now;
+    secondary;
+    jobs;
+    durations;
+    thresholds;
+    base = profile;
+    profiles = Array.init n (fun _ -> Cluster.Profile.copy profile);
+    used = Array.make n false;
+    chosen = Array.make n (-1);
+    starts = Array.make n 0.0;
+    partials = Array.make n Objective.zero;
+    visited = 0;
+  }
+
+let secondary t = t.secondary
+let job_count t = Array.length t.jobs
+let now t = t.now
+let nodes_visited t = t.visited
+
+let place t ~depth ~job =
+  assert (not t.used.(job));
+  let parent = if depth = 0 then t.base else t.profiles.(depth - 1) in
+  let profile = t.profiles.(depth) in
+  Cluster.Profile.copy_into ~src:parent ~dst:profile;
+  let j = t.jobs.(job) in
+  let duration = Float.max t.durations.(job) 1.0 in
+  let s =
+    Cluster.Profile.earliest_start profile ~nodes:j.Workload.Job.nodes
+      ~duration
+  in
+  Cluster.Profile.reserve profile ~at:s ~nodes:j.Workload.Job.nodes ~duration;
+  let wait = s -. j.Workload.Job.submit in
+  let prev = if depth = 0 then Objective.zero else t.partials.(depth - 1) in
+  t.partials.(depth) <-
+    Objective.add ~secondary:t.secondary prev ~wait
+      ~threshold:t.thresholds.(job) ~est_runtime:t.durations.(job);
+  t.used.(job) <- true;
+  t.chosen.(depth) <- job;
+  t.starts.(depth) <- s;
+  t.visited <- t.visited + 1;
+  s
+
+let unplace t ~depth =
+  let job = t.chosen.(depth) in
+  assert (job >= 0 && t.used.(job));
+  t.used.(job) <- false;
+  t.chosen.(depth) <- -1
+
+let reset t =
+  Array.fill t.used 0 (Array.length t.used) false;
+  Array.fill t.chosen 0 (Array.length t.chosen) (-1)
+
+let used t i = t.used.(i)
+let chosen t ~depth = t.chosen.(depth)
+let start_at t ~depth = t.starts.(depth)
+let partial t ~depth = t.partials.(depth)
+let leaf_objective t = t.partials.(Array.length t.jobs - 1)
+
+let nth_unused t r =
+  let n = Array.length t.jobs in
+  let rec scan i remaining =
+    if i >= n then None
+    else if t.used.(i) then scan (i + 1) remaining
+    else if remaining = 0 then Some i
+    else scan (i + 1) (remaining - 1)
+  in
+  scan 0 r
+
+let start_now_set t ~order ~starts =
+  let eps = 1e-6 in
+  let picked = ref [] in
+  Array.iteri
+    (fun d job ->
+      if starts.(d) <= t.now +. eps then picked := t.jobs.(job) :: !picked)
+    order;
+  List.rev !picked

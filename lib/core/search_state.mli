@@ -1,0 +1,68 @@
+(** Mutable search-tree state: incremental schedule construction.
+
+    A tree node at depth [d] corresponds to having placed [d + 1] jobs
+    onto the availability profile, each at its earliest feasible start
+    given the running jobs and the placements above it on the path
+    (Section 2.2: "the start time of each job is computed in the order
+    it appears on the path").  The state keeps one profile snapshot per
+    depth so that backtracking is a pointer reset, and placing a job is
+    an O(segments) copy + reservation — the search hot path allocates
+    nothing.
+
+    Jobs are indexed 0 .. n-1 in *heuristic order* (see {!Branching});
+    child rank 0 of any node is the lowest-indexed unused job. *)
+
+type t
+
+val create :
+  ?secondary:Objective.secondary ->
+  now:float ->
+  profile:Cluster.Profile.t ->
+  jobs:Workload.Job.t array ->
+  durations:float array ->
+  thresholds:float array ->
+  unit ->
+  t
+(** [profile] is the availability profile of the running set at [now];
+    [durations.(i)] is the scheduler-visible runtime of [jobs.(i)];
+    [thresholds.(i)] its excessive-wait bound.  [secondary] selects the
+    tie-breaking goal (default: the paper's bounded slowdown).
+    @raise Invalid_argument on array length mismatch. *)
+
+val secondary : t -> Objective.secondary
+
+val job_count : t -> int
+val now : t -> float
+
+val nodes_visited : t -> int
+(** Total placements performed so far (the paper's "nodes"). *)
+
+val place : t -> depth:int -> job:int -> float
+(** [place t ~depth ~job] chooses job index [job] at [depth]; places it
+    at its earliest start and returns that start time.  Depths must be
+    filled in order; [job] must be unused.  Counts one node visit. *)
+
+val unplace : t -> depth:int -> unit
+(** Undo the placement at [depth] (must be the deepest placement). *)
+
+val reset : t -> unit
+(** Unplace everything (used after an aborted search unwound through an
+    exception).  Does not reset the node counter. *)
+
+val used : t -> int -> bool
+val chosen : t -> depth:int -> int
+val start_at : t -> depth:int -> float
+val partial : t -> depth:int -> Objective.t
+(** Objective of the path prefix through [depth]. *)
+
+val leaf_objective : t -> Objective.t
+(** Objective of a complete path (depth [n-1] placed). *)
+
+val nth_unused : t -> int -> int option
+(** [nth_unused t r] is the index of the [r]-th unused job in
+    heuristic order (rank 0 = heuristic choice), if any. *)
+
+val start_now_set : t -> order:int array -> starts:float array -> Workload.Job.t list
+(** Given a recorded best path (job indices + start times), the jobs
+    whose start time equals the decision time (within 1 s), in path
+    order — the jobs the policy starts immediately. *)

@@ -1,0 +1,30 @@
+(** Symbolic enumeration of the search tree (Figure 1).
+
+    Pure combinatorial counterparts of {!Search}'s traversal orders,
+    used to reproduce Figure 1(a)-(f) (which paths each iteration of
+    LDS and DDS visits, in order) and Figure 1(d) (tree sizes), and to
+    property-test the real search against the specification. *)
+
+val paths_in_iteration :
+  Search.algorithm -> n:int -> iteration:int -> int list list
+(** Paths (sequences of job indices, 0-based; index order = heuristic
+    order) visited by the given iteration, left to right.  Iteration 0
+    is the heuristic path for LDS and DDS; for DFS, iteration 0 is the
+    whole tree. *)
+
+val all_paths : Search.algorithm -> n:int -> int list list
+(** Concatenation over iterations: the complete visit order. *)
+
+val discrepancies : int list -> int
+(** Number of discrepancies of a path: positions where the chosen job
+    is not the smallest-index job still unused. *)
+
+val deepest_discrepancy : int list -> int option
+(** 0-based choice depth of the deepest discrepancy, if any. *)
+
+val path_count : n:int -> float
+(** n! as a float (exact for the table's range). *)
+
+val node_count : n:int -> float
+(** Number of tree nodes excluding the root:
+    sum over k = 1..n of n!/(n-k)!. *)

@@ -1,0 +1,31 @@
+(** Ablation studies beyond the paper's figures.
+
+    - [extra_baselines]: SJF-backfill, Selective-backfill, conservative
+      backfill and the greedy run-now policy next to the paper's three
+      (the related-work comparison of Section 3.2).
+    - [reservations]: FCFS-backfill with 1, 2 and 4 reservations (the
+      paper notes more reservations did not help).
+    - [pruning]: DDS/lxf/dynB with and without the branch-and-bound
+      extension, at equal node budget.
+    - [hybrid_local_search]: DDS/lxf/dynB with and without the
+      local-search post-pass (the Section 2.2 future-work hybrid).
+    - [runtime_bound]: the Section 6.1 future-work idea — a target
+      bound that scales with job runtime — against dynB. *)
+
+val extra_baselines : Format.formatter -> unit
+val reservations : Format.formatter -> unit
+val pruning : Format.formatter -> unit
+val hybrid_local_search : Format.formatter -> unit
+val runtime_bound : Format.formatter -> unit
+
+val prediction : Format.formatter -> unit
+(** The Section 7 future-work experiment: perfect runtimes vs raw user
+    estimates vs on-line corrected estimates, for DDS/lxf/dynB. *)
+
+val objective_goal : Format.formatter -> unit
+(** Second-level goal as configuration: the paper's average bounded
+    slowdown versus plain average wait. *)
+
+val fairshare : Format.formatter -> unit
+(** The Section 7 fairshare experiment: usage-share-inflated thresholds
+    vs plain dynB, with per-user fairness measures. *)

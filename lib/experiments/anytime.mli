@@ -1,0 +1,9 @@
+(** Anytime search quality (Section 2.2's central claim, measured).
+
+    For a pool of synthetic 30-job decision points, run each search
+    algorithm at increasing node budgets and report the mean objective
+    of the best schedule found — showing how quickly DDS, the two LDS
+    variants and plain DFS convert nodes into schedule quality, and
+    where the heuristic path already stands. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,42 @@
+let enabled () =
+  match Sys.getenv_opt "REPRO_BARS" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let bar_width = 40
+
+let grouped_bars fmt ~title ~groups ~series =
+  List.iter
+    (fun (name, values) ->
+      if List.length values <> List.length groups then
+        invalid_arg
+          (Printf.sprintf "Chart.grouped_bars: series %S has %d values for %d groups"
+             name (List.length values) (List.length groups)))
+    series;
+  let maximum =
+    List.fold_left
+      (fun acc (_, values) -> List.fold_left Float.max acc values)
+      0.0 series
+  in
+  Format.fprintf fmt "@.   %s@." title;
+  if maximum <= 0.0 then Format.fprintf fmt "   (all values zero)@."
+  else
+    List.iteri
+      (fun gi group ->
+        List.iteri
+          (fun si (name, values) ->
+            let v = List.nth values gi in
+            let filled =
+              max 0
+                (min bar_width
+                   (int_of_float
+                      (Float.round (float_of_int bar_width *. v /. maximum))))
+            in
+            Format.fprintf fmt "   %-6s %-22s |%s%s %g@."
+              (if si = 0 then group else "")
+              name
+              (String.make filled '#')
+              (String.make (bar_width - filled) ' ')
+              v)
+          series)
+      groups

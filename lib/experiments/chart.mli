@@ -1,0 +1,20 @@
+(** ASCII bar charts for the bench output.
+
+    The paper presents most results as grouped bar charts (one group
+    per month, one bar per policy).  [grouped_bars] renders the same
+    shape in plain text so the bench output can be eyeballed like the
+    figures.  Enabled in the panels when [REPRO_BARS=1]. *)
+
+val grouped_bars :
+  Format.formatter ->
+  title:string ->
+  groups:string list ->
+  series:(string * float list) list ->
+  unit
+(** [grouped_bars fmt ~title ~groups ~series] renders one horizontal
+    bar per (group, series) value, scaled to the global maximum.
+    Each [series] value list must have one entry per group.
+    @raise Invalid_argument on length mismatch. *)
+
+val enabled : unit -> bool
+(** Whether [REPRO_BARS] is set to a truthy value. *)

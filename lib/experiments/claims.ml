@@ -1,0 +1,72 @@
+let load = Common.Rho 0.9
+let r_star = Sim.Engine.Actual
+
+let runs_for months =
+  let policies = Fig3.policies ~load ~r_star ~budget:Fig4.budget_for in
+  let get name =
+    match List.assoc_opt name policies with
+    | Some runner -> List.map (fun m -> (m, runner m)) months
+    | None -> invalid_arg ("Claims.runs_for: " ^ name)
+  in
+  (get "FCFS-backfill", get "LXF-backfill", get "DDS/lxf/dynB")
+
+(* how many months satisfy [p] *)
+let count_months runs p = List.length (List.filter p runs)
+
+let agg (run : Sim.Run.t) = run.Sim.Run.aggregate
+let max_wait r = (agg r).Metrics.Aggregate.max_wait
+let avg_wait r = (agg r).Metrics.Aggregate.avg_wait
+let slowdown r = (agg r).Metrics.Aggregate.avg_bounded_slowdown
+
+let total_excess_vs_fcfs_max m r =
+  let threshold = Common.fcfs_max_threshold ~r_star m load in
+  (Sim.Run.excess r ~threshold).Metrics.Excess.total
+
+let evaluate () =
+  let months = Common.months () in
+  let n = List.length months in
+  let fcfs, lxf, dds = runs_for months in
+  let paired a b = List.combine a b in
+  let most = max 1 (n - 2) in
+  [
+    ( "LXF-backfill beats FCFS-backfill on avg bounded slowdown (most months)",
+      count_months (paired fcfs lxf) (fun ((_, f), (_, l)) ->
+          slowdown l < slowdown f)
+      >= most );
+    ( "FCFS-backfill max wait below LXF-backfill's (most months)",
+      count_months (paired fcfs lxf) (fun ((_, f), (_, l)) ->
+          max_wait f <= max_wait l +. 1.0)
+      >= most );
+    ( "DDS/lxf/dynB max wait within 1.10x of FCFS-backfill (most months)",
+      count_months (paired fcfs dds) (fun ((_, f), (_, d)) ->
+          max_wait d <= 1.10 *. max_wait f)
+      >= most );
+    ( "DDS/lxf/dynB avg wait below FCFS-backfill's (most months)",
+      count_months (paired fcfs dds) (fun ((_, f), (_, d)) ->
+          avg_wait d < avg_wait f)
+      >= most );
+    ( "DDS/lxf/dynB slowdown much closer to LXF than FCFS (most months)",
+      count_months (paired (paired fcfs lxf) dds)
+        (fun (((_, f), (_, l)), (_, d)) ->
+          slowdown f -. slowdown d > slowdown d -. slowdown l)
+      >= most );
+    ( "DDS/lxf/dynB total excess w.r.t. FCFS max is ~zero (most months)",
+      count_months dds (fun (m, d) ->
+          total_excess_vs_fcfs_max m d < 5.0 *. Simcore.Units.hour)
+      >= most );
+    ( "LXF-backfill strands jobs beyond FCFS's max wait (most months)",
+      count_months lxf (fun (m, l) ->
+          total_excess_vs_fcfs_max m l > Simcore.Units.hour)
+      >= most );
+  ]
+
+let run fmt =
+  Common.section fmt ~id:"claims"
+    "Automated shape checks of the paper's key findings (rho=0.9; R*=T)";
+  let results = evaluate () in
+  List.iter
+    (fun (claim, ok) ->
+      Format.fprintf fmt "[%s] %s@." (if ok then "PASS" else "FAIL") claim)
+    results;
+  let passed = List.length (List.filter snd results) in
+  Format.fprintf fmt "%d/%d claims hold@." passed (List.length results)

@@ -1,0 +1,122 @@
+type load = Original | Rho of float
+
+let load_label = function
+  | Original -> "original"
+  | Rho r -> Printf.sprintf "rho=%.2f" r
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> f
+      | _ -> default)
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> Option.value (int_of_string_opt s) ~default
+
+let scale =
+  let v = lazy (env_float "REPRO_SCALE" 1.0) in
+  fun () -> Lazy.force v
+
+let seed =
+  let v = lazy (env_int "REPRO_SEED" 42) in
+  fun () -> Lazy.force v
+
+let months =
+  let v =
+    lazy
+      (match Sys.getenv_opt "REPRO_MONTHS" with
+      | None | Some "" -> Array.to_list Workload.Month_profile.all
+      | Some csv ->
+          String.split_on_char ',' csv
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+          |> List.map Workload.Month_profile.find)
+  in
+  fun () -> Lazy.force v
+
+let trace_cache : (string, Workload.Trace.t) Hashtbl.t = Hashtbl.create 32
+
+let trace profile load =
+  let key =
+    Printf.sprintf "%s/%s" profile.Workload.Month_profile.label
+      (load_label load)
+  in
+  match Hashtbl.find_opt trace_cache key with
+  | Some t -> t
+  | None ->
+      let base =
+        let config =
+          { Workload.Generator.default_config with
+            scale = scale ();
+            seed = seed ();
+          }
+        in
+        Workload.Generator.month ~config profile
+      in
+      let t =
+        match load with
+        | Original -> base
+        | Rho r ->
+            Workload.Trace.scale_load base
+              ~capacity:Workload.Month_profile.capacity ~target:r
+      in
+      Hashtbl.add trace_cache key t;
+      t
+
+let run_cache : (string, Sim.Run.t) Hashtbl.t = Hashtbl.create 64
+
+let simulate ~policy_key ~policy ~r_star profile load =
+  let key =
+    Printf.sprintf "%s/%s/%s/%s" profile.Workload.Month_profile.label
+      (load_label load)
+      (Sim.Engine.r_star_name r_star)
+      policy_key
+  in
+  match Hashtbl.find_opt run_cache key with
+  | Some r -> r
+  | None ->
+      let r =
+        Sim.Run.simulate ~r_star ~policy:(policy ()) (trace profile load)
+      in
+      Hashtbl.add run_cache key r;
+      r
+
+let fcfs_run ~r_star profile load =
+  simulate ~policy_key:"FCFS-backfill"
+    ~policy:(fun () -> Sched.Backfill.fcfs)
+    ~r_star profile load
+
+let fcfs_max_threshold ~r_star profile load =
+  (fcfs_run ~r_star profile load).Sim.Run.aggregate.Metrics.Aggregate.max_wait
+
+let fcfs_p98_threshold ~r_star profile load =
+  (fcfs_run ~r_star profile load).Sim.Run.aggregate.Metrics.Aggregate.p98_wait
+
+let dds_lxf_dynb ~budget () =
+  fst (Core.Search_policy.policy (Core.Search_policy.dds_lxf_dynb ~budget))
+
+let search_policy config () = fst (Core.Search_policy.policy config)
+
+let section fmt ~id title =
+  Format.fprintf fmt "@.%s@.== %s: %s@.%s@." (String.make 72 '=') id title
+    (String.make 72 '=')
+
+let row_header fmt label = Format.fprintf fmt "%-34s" label
+
+let pp_month_columns fmt ~months ~rows =
+  Format.fprintf fmt "%-34s" "";
+  List.iter
+    (fun m ->
+      Format.fprintf fmt " %8s" m.Workload.Month_profile.label)
+    months;
+  Format.pp_print_newline fmt ();
+  List.iter
+    (fun (label, value) ->
+      row_header fmt label;
+      List.iter (fun m -> Format.fprintf fmt " %8.2f" (value m)) months;
+      Format.pp_print_newline fmt ())
+    rows

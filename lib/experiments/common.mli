@@ -1,0 +1,64 @@
+(** Shared plumbing for the paper-reproduction experiments.
+
+    Environment knobs (read once at first use):
+    - [REPRO_SCALE]  — workload scale factor (default 1.0; smaller
+      values shrink both job counts and the time axis, preserving
+      load, for CI-sized runs);
+    - [REPRO_MONTHS] — comma-separated month labels (default: all ten);
+    - [REPRO_SEED]   — generator seed (default 42).
+
+    Traces and simulation runs are memoized per process so that every
+    figure sharing a (month, load, policy, estimator) combination pays
+    for it once. *)
+
+type load = Original | Rho of float
+
+val load_label : load -> string
+
+val scale : unit -> float
+val seed : unit -> int
+val months : unit -> Workload.Month_profile.t list
+
+val trace : Workload.Month_profile.t -> load -> Workload.Trace.t
+(** Generated (and, for [Rho r], load-scaled) trace; memoized. *)
+
+val simulate :
+  policy_key:string ->
+  policy:(unit -> Sched.Policy.t) ->
+  r_star:Sim.Engine.r_star ->
+  Workload.Month_profile.t ->
+  load ->
+  Sim.Run.t
+(** Memoized simulation.  [policy_key] must uniquely identify the
+    policy configuration; [policy] is forced only on a cache miss. *)
+
+val fcfs_run :
+  r_star:Sim.Engine.r_star -> Workload.Month_profile.t -> load -> Sim.Run.t
+(** The month's FCFS-backfill run (the reference for excessive-wait
+    thresholds). *)
+
+val fcfs_max_threshold :
+  r_star:Sim.Engine.r_star -> Workload.Month_profile.t -> load -> float
+(** FCFS-backfill maximum wait of the month, seconds. *)
+
+val fcfs_p98_threshold :
+  r_star:Sim.Engine.r_star -> Workload.Month_profile.t -> load -> float
+(** FCFS-backfill 98th-percentile wait of the month, seconds. *)
+
+val dds_lxf_dynb : budget:int -> unit -> Sched.Policy.t
+(** Fresh instance of the paper's headline policy. *)
+
+val search_policy : Core.Search_policy.config -> unit -> Sched.Policy.t
+
+val section : Format.formatter -> id:string -> string -> unit
+(** Print a section banner. *)
+
+val row_header : Format.formatter -> string -> unit
+
+val pp_month_columns :
+  Format.formatter ->
+  months:Workload.Month_profile.t list ->
+  rows:(string * (Workload.Month_profile.t -> float)) list ->
+  unit
+(** Table with one column per month and one line per (label, value)
+    row. *)

@@ -1,0 +1,31 @@
+let pp_path fmt path =
+  Format.fprintf fmt "0";
+  (* print 1-based job numbers as in the paper's figure *)
+  List.iter (fun i -> Format.fprintf fmt "-%d" (i + 1)) path
+
+let pp_iteration fmt algo ~n ~iteration =
+  let paths = Core.Tree_enum.paths_in_iteration algo ~n ~iteration in
+  Format.fprintf fmt "  %s iteration %d (%d paths):@."
+    (String.uppercase_ascii (Core.Search.algorithm_name algo))
+    iteration (List.length paths);
+  List.iter (fun p -> Format.fprintf fmt "    %a@." pp_path p) paths
+
+let run fmt =
+  Common.section fmt ~id:"fig1"
+    "Search tree: LDS and DDS visit orders (4 jobs) and tree sizes";
+  Format.fprintf fmt "Figure 1(a)-(c): LDS@.";
+  List.iter
+    (fun k -> pp_iteration fmt Core.Search.Lds ~n:4 ~iteration:k)
+    [ 0; 1; 2 ];
+  Format.fprintf fmt "Figure 1(a),(e),(f): DDS@.";
+  List.iter
+    (fun i -> pp_iteration fmt Core.Search.Dds ~n:4 ~iteration:i)
+    [ 0; 1; 2 ];
+  Format.fprintf fmt "@.Figure 1(d): tree size vs number of waiting jobs@.";
+  Format.fprintf fmt "  %8s %18s %18s@." "# jobs" "# paths" "# nodes";
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "  %8d %18.4g %18.4g@." n
+        (Core.Tree_enum.path_count ~n)
+        (Core.Tree_enum.node_count ~n))
+    [ 1; 2; 3; 4; 10; 15 ]

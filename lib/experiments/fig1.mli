@@ -1,0 +1,4 @@
+(** Figure 1: search-tree structure, LDS/DDS visit orders for four
+    jobs, and tree sizes as a function of the number of waiting jobs. *)
+
+val run : Format.formatter -> unit

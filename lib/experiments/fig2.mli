@@ -1,0 +1,5 @@
+(** Figure 2: sensitivity of DDS/lxf to the fixed target wait bound
+    (omega = 50, 100, 300 hours), original load, L = 1K, actual
+    runtimes. *)
+
+val run : Format.formatter -> unit

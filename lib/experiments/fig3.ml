@@ -1,0 +1,35 @@
+let policies ~load ~r_star ~budget =
+  [
+    ( "FCFS-backfill",
+      fun m ->
+        Common.simulate ~policy_key:"FCFS-backfill"
+          ~policy:(fun () -> Sched.Backfill.fcfs)
+          ~r_star m load );
+    ( "LXF-backfill",
+      fun m ->
+        Common.simulate ~policy_key:"LXF-backfill"
+          ~policy:(fun () -> Sched.Backfill.lxf)
+          ~r_star m load );
+    ( "DDS/lxf/dynB",
+      fun m ->
+        let config = Core.Search_policy.dds_lxf_dynb ~budget:(budget m) in
+        Common.simulate
+          ~policy_key:(Core.Search_policy.name config)
+          ~policy:(Common.search_policy config)
+          ~r_star m load );
+  ]
+
+let run fmt =
+  Common.section fmt ~id:"fig3"
+    "Performance comparison under original load (R*=T; L=1K)";
+  let months = Common.months () in
+  let policies =
+    policies ~load:Common.Original ~r_star:Sim.Engine.Actual
+      ~budget:(fun _ -> 1000)
+  in
+  Panels.table fmt ~title:"(a) avg wait (hours)" ~months ~policies
+    ~value:Panels.avg_wait_hours;
+  Panels.table fmt ~title:"(b) max wait (hours)" ~months ~policies
+    ~value:Panels.max_wait_hours;
+  Panels.table fmt ~title:"(c) avg bounded slowdown" ~months ~policies
+    ~value:Panels.avg_bounded_slowdown

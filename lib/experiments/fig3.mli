@@ -1,0 +1,12 @@
+(** Figure 3: FCFS-backfill vs LXF-backfill vs DDS/lxf/dynB under the
+    original load (R* = T, L = 1K). *)
+
+val run : Format.formatter -> unit
+
+val policies :
+  load:Common.load ->
+  r_star:Sim.Engine.r_star ->
+  budget:(Workload.Month_profile.t -> int) ->
+  (string * (Workload.Month_profile.t -> Sim.Run.t)) list
+(** The paper's three headline policies as memoized per-month runners;
+    shared with Figures 4, 5 and 8. *)

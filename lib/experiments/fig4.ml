@@ -1,0 +1,39 @@
+let budget_for (m : Workload.Month_profile.t) =
+  if String.equal m.Workload.Month_profile.label "1/04" then 8000 else 1000
+
+let load = Common.Rho 0.9
+
+let excess_table fmt ~title ~months ~policies ~threshold_of
+    ~(value : Metrics.Excess.t -> float) =
+  Panels.table fmt ~title ~months ~policies ~value:(fun m run ->
+      value (Sim.Run.excess run ~threshold:(threshold_of m)))
+
+let run fmt =
+  Common.section fmt ~id:"fig4"
+    "Performance comparison under high load (rho=0.9; R*=T; L=1K, 8K for 1/04)";
+  let months = Common.months () in
+  let r_star = Sim.Engine.Actual in
+  let policies = Fig3.policies ~load ~r_star ~budget:budget_for in
+  let max_threshold m = Common.fcfs_max_threshold ~r_star m load in
+  let p98_threshold m = Common.fcfs_p98_threshold ~r_star m load in
+  Panels.table fmt ~title:"(a) avg wait (hours)" ~months ~policies
+    ~value:Panels.avg_wait_hours;
+  Panels.table fmt ~title:"(b) max wait (hours)" ~months ~policies
+    ~value:Panels.max_wait_hours;
+  Panels.table fmt ~title:"(c) avg bounded slowdown" ~months ~policies
+    ~value:Panels.avg_bounded_slowdown;
+  Panels.table fmt ~title:"(d) avg queue length" ~months ~policies
+    ~value:Panels.avg_queue_length;
+  excess_table fmt
+    ~title:"(e) total excessive wait w.r.t. FCFS-BF 98th pct (hours)" ~months
+    ~policies ~threshold_of:p98_threshold ~value:Metrics.Excess.total_hours;
+  excess_table fmt
+    ~title:"(f) total excessive wait w.r.t. FCFS-BF max (hours)" ~months
+    ~policies ~threshold_of:max_threshold ~value:Metrics.Excess.total_hours;
+  excess_table fmt ~title:"(g) # jobs with excessive wait (w.r.t. FCFS-BF max)"
+    ~months ~policies ~threshold_of:max_threshold
+    ~value:(fun e -> float_of_int e.Metrics.Excess.count);
+  excess_table fmt
+    ~title:"(h) avg excessive wait over such jobs (w.r.t. FCFS-BF max, hours)"
+    ~months ~policies ~threshold_of:max_threshold
+    ~value:Metrics.Excess.average_hours

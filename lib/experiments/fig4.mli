@@ -1,0 +1,8 @@
+(** Figure 4: performance comparison under high load (rho = 0.9,
+    R* = T; DDS/lxf/dynB uses L = 1K except January 2004 where L = 8K),
+    including the excessive-wait panels. *)
+
+val run : Format.formatter -> unit
+
+val budget_for : Workload.Month_profile.t -> int
+(** The paper's per-month node budget: 8K for 1/04, 1K otherwise. *)

@@ -1,0 +1,21 @@
+let run fmt =
+  Common.section fmt ~id:"fig5"
+    "Average wait (hours) per job class, July 2003 (rho=0.9; R*=T; L=1K)";
+  match
+    List.find_opt
+      (fun m -> String.equal m.Workload.Month_profile.label "7/03")
+      (Common.months ())
+  with
+  | None ->
+      Format.fprintf fmt "7/03 not in REPRO_MONTHS selection; skipped.@."
+  | Some month ->
+      let policies =
+        Fig3.policies ~load:(Common.Rho 0.9) ~r_star:Sim.Engine.Actual
+          ~budget:(fun _ -> 1000)
+      in
+      List.iter
+        (fun (name, runner) ->
+          let run = runner month in
+          Format.fprintf fmt "@.-- %s --@.%a" name Metrics.Class_matrix.pp
+            run.Sim.Run.class_matrix)
+        policies

@@ -1,0 +1,4 @@
+(** Figure 5: average wait per job class (actual runtime x requested
+    nodes) under each policy, July 2003, rho = 0.9, R* = T. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,8 @@
+(** Figure 6: impact of the node budget L (1K .. 100K) on
+    DDS/lxf/dynB, January 2004, rho = 0.9, R* = T. *)
+
+val run : Format.formatter -> unit
+
+val budgets : int list
+(** The swept budgets; [REPRO_MAXL] truncates the sweep (e.g.
+    REPRO_MAXL=10000 drops the 100K point for quick runs). *)

@@ -1,0 +1,5 @@
+(** Figure 7: effect of search algorithm (DDS vs LDS) and branching
+    heuristic (lxf vs fcfs) with the dynamic bound, rho = 0.9, L = 2K,
+    R* = T. *)
+
+val run : Format.formatter -> unit

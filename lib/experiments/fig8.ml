@@ -1,0 +1,20 @@
+let load = Common.Rho 0.9
+
+let run fmt =
+  Common.section fmt ~id:"fig8"
+    "Using inaccurate requested runtimes (R*=R; rho=0.9; L=4K)";
+  let months = Common.months () in
+  let r_star = Sim.Engine.Requested in
+  let policies = Fig3.policies ~load ~r_star ~budget:(fun _ -> 4000) in
+  Panels.table fmt ~title:"(a) avg wait (hours)" ~months ~policies
+    ~value:Panels.avg_wait_hours;
+  Panels.table fmt ~title:"(b) max wait (hours)" ~months ~policies
+    ~value:Panels.max_wait_hours;
+  Panels.table fmt ~title:"(c) avg bounded slowdown" ~months ~policies
+    ~value:Panels.avg_bounded_slowdown;
+  Panels.table fmt
+    ~title:"(d) total excessive wait w.r.t. FCFS-BF max (hours)" ~months
+    ~policies
+    ~value:(fun m run ->
+      let threshold = Common.fcfs_max_threshold ~r_star m load in
+      Metrics.Excess.total_hours (Sim.Run.excess run ~threshold))

@@ -1,0 +1,4 @@
+(** Figure 8: impact of inaccurate user-requested runtimes (R* = R),
+    rho = 0.9, L = 4K. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,15 @@
+(** Rendering of the paper's per-month bar-chart panels as tables:
+    one column per month, one row per policy. *)
+
+val table :
+  Format.formatter ->
+  title:string ->
+  months:Workload.Month_profile.t list ->
+  policies:(string * (Workload.Month_profile.t -> Sim.Run.t)) list ->
+  value:(Workload.Month_profile.t -> Sim.Run.t -> float) ->
+  unit
+
+val avg_wait_hours : 'a -> Sim.Run.t -> float
+val max_wait_hours : 'a -> Sim.Run.t -> float
+val avg_bounded_slowdown : 'a -> Sim.Run.t -> float
+val avg_queue_length : 'a -> Sim.Run.t -> float

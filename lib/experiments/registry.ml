@@ -1,0 +1,54 @@
+type t = {
+  id : string;
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+let paper =
+  [
+    { id = "fig1"; title = "Search tree and LDS/DDS visit orders"; run = Fig1.run };
+    { id = "table3+4"; title = "Workload job mix vs published targets";
+      run = Table_mix.run };
+    { id = "fig2"; title = "Sensitivity to fixed target bound"; run = Fig2.run };
+    { id = "fig3"; title = "Policy comparison, original load"; run = Fig3.run };
+    { id = "fig4"; title = "Policy comparison, rho=0.9"; run = Fig4.run };
+    { id = "fig5"; title = "Per-class average wait, July 2003"; run = Fig5.run };
+    { id = "fig6"; title = "Impact of node budget, January 2004"; run = Fig6.run };
+    { id = "fig7"; title = "Search algorithms and heuristics"; run = Fig7.run };
+    { id = "fig8"; title = "Inaccurate requested runtimes"; run = Fig8.run };
+    { id = "overhead"; title = "Scheduling overhead"; run = Overhead.run };
+    { id = "claims"; title = "Automated shape checks of the key findings";
+      run = Claims.run };
+  ]
+
+let ablations =
+  [
+    { id = "ablation-baselines"; title = "Related-work baselines";
+      run = Ablations.extra_baselines };
+    { id = "ablation-reservations"; title = "Backfill reservation count";
+      run = Ablations.reservations };
+    { id = "ablation-bnb"; title = "Branch-and-bound pruning";
+      run = Ablations.pruning };
+    { id = "ablation-localsearch"; title = "Local-search post-pass";
+      run = Ablations.hybrid_local_search };
+    { id = "ablation-rtbound"; title = "Runtime-scaled target bound";
+      run = Ablations.runtime_bound };
+    { id = "ablation-prediction"; title = "On-line runtime prediction";
+      run = Ablations.prediction };
+    { id = "ablation-goal"; title = "Second-level goal variants";
+      run = Ablations.objective_goal };
+    { id = "ablation-fairshare"; title = "Fairshare-inflated thresholds";
+      run = Ablations.fairshare };
+    { id = "robustness"; title = "Uncalibrated-workload robustness check";
+      run = Robustness.run };
+    { id = "seeds"; title = "Generator-seed sensitivity"; run = Seeds.run };
+    { id = "wait-distribution"; title = "Wait-time percentile ladders";
+      run = Wait_distribution.run };
+    { id = "backlog"; title = "Daily backlog dynamics (1/04)";
+      run = Backlog.run };
+    { id = "anytime"; title = "Anytime search-quality curves";
+      run = Anytime.run };
+  ]
+
+let all = paper @ ablations
+let find id = List.find_opt (fun e -> String.equal e.id id) all

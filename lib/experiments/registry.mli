@@ -1,0 +1,17 @@
+(** Index of all reproduction experiments, for the CLI and the bench
+    harness. *)
+
+type t = {
+  id : string;  (** e.g. "fig4" *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : t list
+(** Paper experiments first (fig1..fig8, table3+4, overhead), then the
+    ablations. *)
+
+val paper : t list
+(** Only the experiments reproducing a paper table or figure. *)
+
+val find : string -> t option

@@ -1,0 +1,59 @@
+let days = 14.0
+
+let scenario ~seed ~rho =
+  let base = Workload.Model.generate ~seed ~days () in
+  Workload.Trace.scale_load base ~capacity:128 ~target:rho
+
+let policies () =
+  [
+    ("FCFS-backfill", Sched.Backfill.fcfs);
+    ("LXF-backfill", Sched.Backfill.lxf);
+    ( "DDS/lxf/dynB",
+      fst (Core.Search_policy.policy (Core.Search_policy.dds_lxf_dynb ~budget:1000)) );
+  ]
+
+let run fmt =
+  Common.section fmt ~id:"robustness"
+    "Headline relationships on an uncalibrated parametric workload model";
+  let scenarios =
+    [ ("seed=1 rho=0.85", scenario ~seed:1 ~rho:0.85);
+      ("seed=2 rho=0.90", scenario ~seed:2 ~rho:0.90);
+      ("seed=3 rho=0.95", scenario ~seed:3 ~rho:0.95) ]
+  in
+  List.iter
+    (fun (label, trace) ->
+      Format.fprintf fmt "@.--- %s: %s ---@." label
+        (Workload.Trace.concat_stats trace);
+      let runs =
+        List.map
+          (fun (name, policy) ->
+            (name, Sim.Run.simulate ~r_star:Sim.Engine.Actual ~policy trace))
+          (policies ())
+      in
+      let agg name = (List.assoc name runs).Sim.Run.aggregate in
+      Format.fprintf fmt "%-16s %9s %9s %9s@." "policy" "avgW(h)" "maxW(h)"
+        "avgBsld";
+      List.iter
+        (fun (name, run) ->
+          let a = run.Sim.Run.aggregate in
+          Format.fprintf fmt "%-16s %9.2f %9.2f %9.1f@." name
+            (Metrics.Aggregate.avg_wait_hours a)
+            (Metrics.Aggregate.max_wait_hours a)
+            a.Metrics.Aggregate.avg_bounded_slowdown)
+        runs;
+      let fcfs = agg "FCFS-backfill"
+      and lxf = agg "LXF-backfill"
+      and dds = agg "DDS/lxf/dynB" in
+      let check label ok =
+        Format.fprintf fmt "[%s] %s@." (if ok then "PASS" else "FAIL") label
+      in
+      check "LXF slowdown < FCFS slowdown"
+        (lxf.Metrics.Aggregate.avg_bounded_slowdown
+        < fcfs.Metrics.Aggregate.avg_bounded_slowdown);
+      check "DDS max wait <= 1.15 x FCFS max wait"
+        (dds.Metrics.Aggregate.max_wait
+        <= 1.15 *. fcfs.Metrics.Aggregate.max_wait);
+      check "DDS slowdown < FCFS slowdown"
+        (dds.Metrics.Aggregate.avg_bounded_slowdown
+        < fcfs.Metrics.Aggregate.avg_bounded_slowdown))
+    scenarios

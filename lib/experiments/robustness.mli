@@ -1,0 +1,9 @@
+(** Robustness check: do the headline relationships survive on a
+    workload that is *not* calibrated to the paper's tables?
+
+    Uses {!Workload.Model} (a literature-style parametric rigid-job
+    model) at several seeds and loads, runs the three headline
+    policies, and prints the same measures as Figure 4 plus PASS/FAIL
+    shape checks. *)
+
+val run : Format.formatter -> unit

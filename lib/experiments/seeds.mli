@@ -1,0 +1,10 @@
+(** Seed sensitivity: the headline comparison re-run on independently
+    generated workloads.
+
+    The synthetic months are random; the reproduction only stands if
+    the policy relationships are stable across generator seeds, not a
+    fluke of seed 42.  Runs the three headline policies on one month at
+    rho = 0.9 for several seeds and reports the per-seed measures plus
+    PASS/FAIL stability checks. *)
+
+val run : Format.formatter -> unit

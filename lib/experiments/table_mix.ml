@@ -1,0 +1,81 @@
+let normalized_pct arr =
+  let sum = Array.fold_left ( +. ) 0.0 arr in
+  if sum <= 0.0 then arr else Array.map (fun v -> 100.0 *. v /. sum) arr
+
+let run fmt =
+  Common.section fmt ~id:"table3+4"
+    "Monthly job mix: generated workload vs published targets";
+  Format.fprintf fmt
+    "Each month: first line = generated, second = paper target.@.";
+  Format.fprintf fmt
+    "Columns: node ranges 1 | 2 | 3-4 | 5-8 | 9-16 | 17-32 | 33-64 | 65-128@.";
+  let months = Common.months () in
+  Format.fprintf fmt "@.--- Table 3: %% of jobs per node-size range ---@.";
+  List.iter
+    (fun m ->
+      let mix =
+        Workload.Mix_report.of_trace ~capacity:Workload.Month_profile.capacity
+          (Common.trace m Common.Original)
+      in
+      let label = m.Workload.Month_profile.label in
+      Format.fprintf fmt "%-6s gen  n=%5d load=%3.0f%% |" label
+        mix.Workload.Mix_report.n_jobs
+        (100.0 *. mix.Workload.Mix_report.load);
+      Array.iter (fun v -> Format.fprintf fmt " %5.1f" v)
+        mix.Workload.Mix_report.jobs8;
+      Format.fprintf fmt "@.%-6s tgt  n=%5.0f load=%3.0f%% |" label
+        (float_of_int m.Workload.Month_profile.n_jobs *. Common.scale ())
+        (100.0 *. m.Workload.Month_profile.load);
+      Array.iter (fun v -> Format.fprintf fmt " %5.1f" v)
+        (normalized_pct m.Workload.Month_profile.jobs8);
+      Format.fprintf fmt "@.")
+    months;
+  Format.fprintf fmt "@.--- Table 3: %% of processor demand per range ---@.";
+  List.iter
+    (fun m ->
+      let mix =
+        Workload.Mix_report.of_trace ~capacity:Workload.Month_profile.capacity
+          (Common.trace m Common.Original)
+      in
+      let label = m.Workload.Month_profile.label in
+      Format.fprintf fmt "%-6s gen |" label;
+      Array.iter (fun v -> Format.fprintf fmt " %5.1f" v)
+        mix.Workload.Mix_report.demand8;
+      Format.fprintf fmt "@.%-6s tgt |" label;
+      Array.iter (fun v -> Format.fprintf fmt " %5.1f" v)
+        (normalized_pct m.Workload.Month_profile.demand8);
+      Format.fprintf fmt "@.")
+    months;
+  Format.fprintf fmt
+    "@.--- Table 4: %% of all jobs, T<=1h and T>5h, per node class ---@.";
+  Format.fprintf fmt "Columns: node classes 1 | 2 | 3-8 | 9-32 | 33-128@.";
+  List.iter
+    (fun m ->
+      let mix =
+        Workload.Mix_report.of_trace ~capacity:Workload.Month_profile.capacity
+          (Common.trace m Common.Original)
+      in
+      let label = m.Workload.Month_profile.label in
+      let pair name gen tgt =
+        Format.fprintf fmt "%-6s %s gen |" label name;
+        Array.iter (fun v -> Format.fprintf fmt " %5.1f" v) gen;
+        Format.fprintf fmt "   tgt |";
+        Array.iter (fun v -> Format.fprintf fmt " %5.1f" v) tgt;
+        Format.fprintf fmt "@."
+      in
+      pair "T<=1h" mix.Workload.Mix_report.short5
+        m.Workload.Month_profile.short5;
+      pair "T>5h " mix.Workload.Mix_report.long5 m.Workload.Month_profile.long5)
+    months;
+  Format.fprintf fmt
+    "@.--- Arrival modulation (generated; diurnal peak/trough and weekend/weekday ratios) ---@.";
+  List.iter
+    (fun m ->
+      let stats =
+        Workload.Arrival_stats.of_trace (Common.trace m Common.Original)
+      in
+      Format.fprintf fmt "%-6s peak/trough %5.2f  weekend/weekday %5.2f@."
+        m.Workload.Month_profile.label
+        (Workload.Arrival_stats.peak_to_trough stats)
+        (Workload.Arrival_stats.weekend_weekday_ratio stats))
+    months

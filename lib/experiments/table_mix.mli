@@ -1,0 +1,4 @@
+(** Tables 3 and 4: generated workload job mix versus the published
+    NCSA IA-64 targets, month by month. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,35 @@
+let load = Common.Rho 0.9
+let percentiles = [ 50.0; 75.0; 90.0; 95.0; 98.0; 99.0; 100.0 ]
+
+let run fmt =
+  Common.section fmt ~id:"wait-distribution"
+    "Wait-time percentiles per policy (rho=0.9; R*=T; hours)";
+  let months = Common.months () in
+  let policies =
+    Fig3.policies ~load ~r_star:Sim.Engine.Actual ~budget:Fig4.budget_for
+  in
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "@.--- %s ---@." m.Workload.Month_profile.label;
+      Format.fprintf fmt "%-16s" "policy";
+      List.iter (fun p -> Format.fprintf fmt " %7.0f%%" p) percentiles;
+      Format.pp_print_newline fmt ();
+      List.iter
+        (fun (name, runner) ->
+          let run = runner m in
+          let waits =
+            Array.of_list
+              (List.map Metrics.Outcome.wait run.Sim.Run.measured)
+          in
+          Format.fprintf fmt "%-16s" name;
+          List.iter
+            (fun p ->
+              let v =
+                if Array.length waits = 0 then 0.0
+                else Simcore.Stats.percentile waits p
+              in
+              Format.fprintf fmt " %8.2f" (Simcore.Units.to_hours v))
+            percentiles;
+          Format.pp_print_newline fmt ())
+        policies)
+    months

@@ -1,0 +1,8 @@
+(** Wait-time distribution deep dive (extension).
+
+    The paper reports averages, maxima, a 98th percentile and excess
+    measures; this experiment prints the full per-policy wait
+    percentile ladder for each month under high load, showing *where*
+    in the distribution each policy wins. *)
+
+val run : Format.formatter -> unit

@@ -1,0 +1,19 @@
+(** Average wait per job class (Figure 5).
+
+    Jobs are partitioned by five actual-runtime ranges and five
+    node-count classes; each cell holds the average wait of its jobs.
+    Row index = runtime class ({!Workload.Job.runtime_class5}), column
+    index = node class ({!Workload.Job.node_class5}). *)
+
+type t
+
+val compute : Outcome.t list -> t
+
+val average_wait : t -> runtime_class:int -> node_class:int -> float option
+(** Average wait (seconds) of the cell, or [None] if it has no jobs. *)
+
+val count : t -> runtime_class:int -> node_class:int -> int
+
+val pp : Format.formatter -> t -> unit
+(** Render as a 5x5 table of average waits in hours ("-" for empty
+    cells). *)

@@ -1,0 +1,35 @@
+let csv_header =
+  "id,user,nodes,submit,start,finish,runtime,requested,wait,bounded_slowdown"
+
+let csv_row (o : Outcome.t) =
+  let j = o.job in
+  Printf.sprintf "%d,%d,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.4f"
+    j.Workload.Job.id j.Workload.Job.user j.Workload.Job.nodes
+    j.Workload.Job.submit o.start o.finish j.Workload.Job.runtime
+    j.Workload.Job.requested (Outcome.wait o) (Outcome.bounded_slowdown o)
+
+let sorted outcomes =
+  List.stable_sort
+    (fun (a : Outcome.t) (b : Outcome.t) ->
+      Workload.Job.compare_submit a.job b.job)
+    outcomes
+
+let with_file path f =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let to_csv path outcomes =
+  with_file path (fun oc ->
+      output_string oc (csv_header ^ "\n");
+      List.iter
+        (fun o -> output_string oc (csv_row o ^ "\n"))
+        (sorted outcomes))
+
+let to_swf ?(comments = []) path outcomes =
+  with_file path (fun oc ->
+      List.iter (fun c -> output_string oc (c ^ "\n")) comments;
+      List.iter
+        (fun (o : Outcome.t) ->
+          output_string oc
+            (Workload.Swf.job_line ~wait:(Outcome.wait o) o.job ^ "\n"))
+        (sorted outcomes))

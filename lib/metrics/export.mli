@@ -1,0 +1,17 @@
+(** Export simulation outcomes for external analysis.
+
+    Two formats:
+    - CSV with one row per job (id, user, nodes, submit, start, finish,
+      runtime, requested, wait, bounded slowdown) — for notebooks;
+    - SWF with the wait-time field filled from the simulation — so a
+      simulated schedule can be fed to any SWF-consuming tool. *)
+
+val to_csv : string -> Outcome.t list -> unit
+(** Write outcomes to a CSV file (header included), in submit order. *)
+
+val csv_header : string
+
+val csv_row : Outcome.t -> string
+
+val to_swf : ?comments:string list -> string -> Outcome.t list -> unit
+(** Write outcomes as SWF, wait field = simulated wait. *)

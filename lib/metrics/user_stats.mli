@@ -1,0 +1,30 @@
+(** Per-user performance and fairness measures (for the fairshare
+    extension).
+
+    Aggregates outcomes by submitting user and summarizes how evenly
+    service quality is spread with Jain's fairness index over the
+    per-user average bounded slowdowns: 1.0 = perfectly even,
+    [1/n] = one user gets everything. *)
+
+type t
+
+val compute : Outcome.t list -> t
+(** Jobs with user [<= 0] are ignored. *)
+
+val user_count : t -> int
+val users : t -> int list
+(** Users sorted by descending processor demand. *)
+
+val job_count : t -> user:int -> int
+val demand_share : t -> user:int -> float
+(** The user's fraction of total node-seconds demand. *)
+
+val avg_wait : t -> user:int -> float
+val avg_bounded_slowdown : t -> user:int -> float
+
+val jain_index : t -> float
+(** Jain's index over per-user average bounded slowdowns; 0 when there
+    are no users. *)
+
+val pp_top : n:int -> Format.formatter -> t -> unit
+(** Table of the [n] heaviest users. *)

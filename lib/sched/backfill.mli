@@ -1,0 +1,40 @@
+(** Priority backfill (EASY-style), the paper's baseline family.
+
+    Jobs are considered in priority order.  The first [reservations]
+    jobs that cannot start immediately receive a *scheduled start time*
+    — a reservation carved into the availability profile at the
+    earliest instant enough nodes are free for the job's full estimated
+    duration.  Remaining jobs may start now only if they fit the
+    profile without delaying any reservation (backfilling).
+
+    The paper's FCFS-backfill and LXF-backfill both use a single
+    reservation ("we do not find more reservations to improve the
+    performance"); [reservations = max_int] gives conservative
+    backfill. *)
+
+type plan = {
+  start_now : Workload.Job.t list;  (** jobs to start at the decision time *)
+  reserved : (Workload.Job.t * float) list;
+      (** jobs given a scheduled start time, with that time *)
+}
+
+val plan :
+  reservations:int ->
+  priority:Priority.t ->
+  Policy.context ->
+  plan
+(** Full backfill schedule at one decision point (exposed so tests and
+    the Figure-5-style analyses can inspect reservations). *)
+
+val policy : ?reservations:int -> Priority.t -> Policy.t
+(** [policy priority] is the backfill scheduling policy (default one
+    reservation).  Its name is e.g. ["FCFS-backfill"]. *)
+
+val fcfs : Policy.t
+(** FCFS-backfill, one reservation. *)
+
+val lxf : Policy.t
+(** LXF-backfill, one reservation. *)
+
+val sjf : Policy.t
+(** SJF-backfill, one reservation (starvation-prone; for comparisons). *)

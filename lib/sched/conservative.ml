@@ -1,0 +1,5 @@
+let policy ?(priority = Priority.fcfs) () =
+  let inner = Backfill.policy ~reservations:max_int priority in
+  Policy.make
+    ~name:(Printf.sprintf "conservative-%s" priority.Priority.name)
+    ~decide:inner.Policy.decide

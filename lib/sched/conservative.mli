@@ -1,0 +1,7 @@
+(** Conservative backfill: every queued job holds a reservation, so a
+    backfilled job can never delay *any* earlier-arriving job.  The
+    classic low-risk/low-reward end of the backfill spectrum, included
+    as an extra baseline for the ablation benches. *)
+
+val policy : ?priority:Priority.t -> unit -> Policy.t
+(** Defaults to FCFS priority. *)

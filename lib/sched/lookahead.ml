@@ -1,0 +1,72 @@
+(* Select, among [candidates] with node counts <= [capacity], a subset
+   maximizing total nodes with sum <= capacity (0/1 knapsack where
+   weight = value = nodes).  Ties resolve toward earlier-submitted jobs
+   because candidates are scanned in queue order and an item is kept
+   only when it reaches a previously unreachable total. *)
+let knapsack ~capacity candidates =
+  let best : Workload.Job.t list option array = Array.make (capacity + 1) None in
+  best.(0) <- Some [];
+  List.iter
+    (fun (j : Workload.Job.t) ->
+      for c = capacity downto j.nodes do
+        match (best.(c), best.(c - j.nodes)) with
+        | None, Some set -> best.(c) <- Some (j :: set)
+        | _ -> ()
+      done)
+    candidates;
+  let rec first_filled c =
+    if c <= 0 then []
+    else match best.(c) with Some set -> set | None -> first_filled (c - 1)
+  in
+  List.sort Workload.Job.compare_submit (first_filled capacity)
+
+let policy () =
+  Policy.make ~name:"lookahead-backfill" ~decide:(fun ctx ->
+      let profile = Policy.profile_of ctx in
+      match ctx.Policy.waiting with
+      | [] -> []
+      | head :: rest ->
+          let duration (j : Workload.Job.t) = Float.max (ctx.r_star j) 1.0 in
+          (* The head keeps strict EASY semantics: start it if it fits,
+             otherwise carve its reservation so the knapsack cannot
+             delay it. *)
+          let head_d = duration head in
+          let head_now =
+            Cluster.Profile.fits_at profile ~at:ctx.now ~nodes:head.nodes
+              ~duration:head_d
+          in
+          let start_at =
+            if head_now then ctx.now
+            else
+              Cluster.Profile.earliest_start profile ~nodes:head.nodes
+                ~duration:head_d
+          in
+          Cluster.Profile.reserve profile ~at:start_at ~nodes:head.nodes
+            ~duration:head_d;
+          let candidates =
+            List.filter
+              (fun (j : Workload.Job.t) ->
+                Cluster.Profile.fits_at profile ~at:ctx.now ~nodes:j.nodes
+                  ~duration:(duration j))
+              rest
+          in
+          let free_now = Cluster.Profile.free_at profile ctx.now in
+          let selected = knapsack ~capacity:free_now candidates in
+          (* Sequential re-validation: durations differ, so a set that
+             fits at [now] may still collide later; place greedily and
+             drop jobs that no longer fit. *)
+          let backfilled =
+            List.filter
+              (fun (j : Workload.Job.t) ->
+                let d = duration j in
+                if Cluster.Profile.fits_at profile ~at:ctx.now ~nodes:j.nodes
+                     ~duration:d
+                then begin
+                  Cluster.Profile.reserve profile ~at:ctx.now ~nodes:j.nodes
+                    ~duration:d;
+                  true
+                end
+                else false)
+              selected
+          in
+          if head_now then head :: backfilled else backfilled)

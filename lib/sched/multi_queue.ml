@@ -1,0 +1,28 @@
+let queue_rank ~boundaries r =
+  let rec scan i = function
+    | [] -> i
+    | b :: rest -> if r <= b then i else scan (i + 1) rest
+  in
+  scan 0 boundaries
+
+let default_boundaries = [ Simcore.Units.hour; Simcore.Units.hours 5.0 ]
+
+let policy ?(boundaries = default_boundaries) ?(reservations = 1) () =
+  let priority =
+    {
+      Priority.name = "multi-queue";
+      compare =
+        (fun ~now:_ ~r_star a b ->
+          let c =
+            Int.compare
+              (queue_rank ~boundaries (r_star a))
+              (queue_rank ~boundaries (r_star b))
+          in
+          if c <> 0 then c else Workload.Job.compare_submit a b);
+    }
+  in
+  let inner = Backfill.policy ~reservations priority in
+  Policy.make
+    ~name:(Printf.sprintf "multi-queue-backfill(%d queues)"
+             (List.length boundaries + 1))
+    ~decide:inner.Policy.decide

@@ -1,0 +1,18 @@
+(** Queue-based priority scheduling (the production-scheduler style the
+    paper's introduction argues against, cf. PBS / LSF).
+
+    Jobs are routed to queues by estimated runtime (e.g. short <= 1h,
+    medium <= 5h, long); queues are served in priority order — shorter
+    queues first — FCFS within a queue, with EASY backfill across the
+    whole waiting set.  Improves responsiveness for short jobs but can
+    starve the long queue, which is exactly the failure mode the
+    goal-oriented policies are designed to avoid. *)
+
+val queue_rank : boundaries:float list -> float -> int
+(** [queue_rank ~boundaries r] is the index of the queue for estimated
+    runtime [r]: the first boundary at or above it, or
+    [length boundaries] when none is. *)
+
+val policy : ?boundaries:float list -> ?reservations:int -> unit -> Policy.t
+(** Default boundaries: 1 hour and 5 hours (three queues); one
+    reservation. *)

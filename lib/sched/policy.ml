@@ -1,0 +1,28 @@
+type context = {
+  now : float;
+  waiting : Workload.Job.t list;
+  running : Cluster.Running_set.t;
+  r_star : Workload.Job.t -> float;
+}
+
+type t = { name : string; decide : context -> Workload.Job.t list }
+
+let make ~name ~decide = { name; decide }
+
+let profile_of ctx =
+  let machine = Cluster.Running_set.machine ctx.running in
+  Cluster.Profile.of_running ~now:ctx.now
+    ~capacity:machine.Cluster.Machine.nodes
+    (Cluster.Running_set.releases ctx.running ~now:ctx.now)
+
+let run_now =
+  make ~name:"run-now" ~decide:(fun ctx ->
+      let free = ref (Cluster.Running_set.free_nodes ctx.running) in
+      List.filter
+        (fun (j : Workload.Job.t) ->
+          if j.nodes <= !free then begin
+            free := !free - j.nodes;
+            true
+          end
+          else false)
+        ctx.waiting)

@@ -1,0 +1,54 @@
+type t = {
+  name : string;
+  compare :
+    now:float ->
+    r_star:(Workload.Job.t -> float) ->
+    Workload.Job.t ->
+    Workload.Job.t ->
+    int;
+}
+
+let tie_break a b = Workload.Job.compare_submit a b
+
+let fcfs =
+  { name = "fcfs"; compare = (fun ~now:_ ~r_star:_ a b -> tie_break a b) }
+
+let sjf =
+  {
+    name = "sjf";
+    compare =
+      (fun ~now:_ ~r_star a b ->
+        let c = Float.compare (r_star a) (r_star b) in
+        if c <> 0 then c else tie_break a b);
+  }
+
+let expansion_factor ~now ~r_star (j : Workload.Job.t) =
+  let wait = Float.max 0.0 (now -. j.submit) in
+  let runtime = Float.max (r_star j) Simcore.Units.minute in
+  1.0 +. (wait /. runtime)
+
+let lxf =
+  {
+    name = "lxf";
+    compare =
+      (fun ~now ~r_star a b ->
+        let c =
+          Float.compare
+            (expansion_factor ~now ~r_star b)
+            (expansion_factor ~now ~r_star a)
+        in
+        if c <> 0 then c else tie_break a b);
+  }
+
+let lxf_w ~weight_per_hour =
+  let score ~now ~r_star j =
+    let wait_hours = Simcore.Units.to_hours (Float.max 0.0 (now -. j.Workload.Job.submit)) in
+    expansion_factor ~now ~r_star j +. (weight_per_hour *. wait_hours)
+  in
+  {
+    name = Printf.sprintf "lxf&w(%.3g)" weight_per_hour;
+    compare =
+      (fun ~now ~r_star a b ->
+        let c = Float.compare (score ~now ~r_star b) (score ~now ~r_star a) in
+        if c <> 0 then c else tie_break a b);
+  }

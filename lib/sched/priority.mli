@@ -1,0 +1,36 @@
+(** Job priority functions for priority-backfill policies.
+
+    A priority orders the waiting queue; [compare] sorts
+    higher-priority jobs first.  All comparators break ties by
+    submission order (and finally job id) so queue orders are total and
+    deterministic. *)
+
+type t = {
+  name : string;
+  compare :
+    now:float ->
+    r_star:(Workload.Job.t -> float) ->
+    Workload.Job.t ->
+    Workload.Job.t ->
+    int;
+}
+
+val fcfs : t
+(** First come, first served. *)
+
+val sjf : t
+(** Shortest estimated runtime first.  Known to starve long jobs. *)
+
+val lxf : t
+(** Largest expansion factor (slowdown) first.  The expansion factor
+    of a waiting job is [(wait + R) / max(R, 1min)] with R the
+    estimated runtime — the bounded
+    slowdown it would have if started now. *)
+
+val lxf_w : weight_per_hour:float -> t
+(** LXF plus a small additive weight for each hour of waiting time
+    (the paper's LXF&W). *)
+
+val expansion_factor :
+  now:float -> r_star:(Workload.Job.t -> float) -> Workload.Job.t -> float
+(** The bounded expansion factor used by {!lxf}. *)

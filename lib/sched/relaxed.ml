@@ -1,0 +1,62 @@
+let policy ?(relaxation = 0.5) () =
+  if relaxation < 0.0 then invalid_arg "Relaxed.policy: negative relaxation";
+  let name = Printf.sprintf "relaxed-backfill(%.2f)" relaxation in
+  Policy.make ~name ~decide:(fun ctx ->
+      match ctx.Policy.waiting with
+      | [] -> []
+      | head :: rest ->
+          let duration (j : Workload.Job.t) = Float.max (ctx.r_star j) 1.0 in
+          (* Profile WITHOUT any reservation: candidates are accepted as
+             long as the head's recomputed earliest start stays within
+             the allowance of its unobstructed earliest start. *)
+          let profile = Policy.profile_of ctx in
+          let head_d = duration head in
+          let unobstructed =
+            Cluster.Profile.earliest_start profile ~nodes:head.nodes
+              ~duration:head_d
+          in
+          if unobstructed <= ctx.now then begin
+            (* head runs immediately; behave exactly like EASY *)
+            Cluster.Profile.reserve profile ~at:ctx.now ~nodes:head.nodes
+              ~duration:head_d;
+            head
+            :: List.filter
+                 (fun (j : Workload.Job.t) ->
+                   let d = duration j in
+                   if Cluster.Profile.fits_at profile ~at:ctx.now
+                        ~nodes:j.nodes ~duration:d
+                   then begin
+                     Cluster.Profile.reserve profile ~at:ctx.now
+                       ~nodes:j.nodes ~duration:d;
+                     true
+                   end
+                   else false)
+                 rest
+          end
+          else begin
+            let deadline = unobstructed +. (relaxation *. head_d) in
+            let started = ref [] in
+            List.iter
+              (fun (j : Workload.Job.t) ->
+                let d = duration j in
+                if Cluster.Profile.fits_at profile ~at:ctx.now ~nodes:j.nodes
+                     ~duration:d
+                then begin
+                  (* tentatively start it and check the head's new
+                     earliest start against the relaxed deadline *)
+                  let trial = Cluster.Profile.copy profile in
+                  Cluster.Profile.reserve trial ~at:ctx.now ~nodes:j.nodes
+                    ~duration:d;
+                  let delayed =
+                    Cluster.Profile.earliest_start trial ~nodes:head.nodes
+                      ~duration:head_d
+                  in
+                  if delayed <= deadline +. 1e-6 then begin
+                    Cluster.Profile.reserve profile ~at:ctx.now ~nodes:j.nodes
+                      ~duration:d;
+                    started := j :: !started
+                  end
+                end)
+              rest;
+            List.rev !started
+          end)

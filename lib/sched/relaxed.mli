@@ -1,0 +1,13 @@
+(** Relaxed backfill (Ward, Mahood & West, JSSPP 2002).
+
+    Like EASY backfill, but a backfill candidate is allowed to push the
+    head job's scheduled start back by up to a relaxation allowance — a
+    configurable fraction of the head's estimated runtime.  A small
+    relaxation recovers utilization lost to the hard reservation at a
+    bounded cost in head-job delay; a large one degenerates toward
+    no-reservation greedy scheduling. *)
+
+val policy : ?relaxation:float -> unit -> Policy.t
+(** [relaxation] is the allowed delay as a fraction of the head job's
+    estimated runtime (default 0.5, as in the original paper's favoured
+    setting).  @raise Invalid_argument if negative. *)

@@ -1,0 +1,65 @@
+type t = {
+  policy_name : string;
+  r_star : Engine.r_star;
+  measured : Metrics.Outcome.t list;
+  aggregate : Metrics.Aggregate.t;
+  class_matrix : Metrics.Class_matrix.t;
+  decisions : int;
+  wall_clock : float;
+  utilization : float;
+  queue_samples : Engine.queue_sample list;
+}
+
+(* Busy node-seconds inside [from_, upto), over machine capacity. *)
+let utilization_of ~machine ~from_ ~upto outcomes =
+  let window = upto -. from_ in
+  if window <= 0.0 then 0.0
+  else begin
+    let busy =
+      List.fold_left
+        (fun acc (o : Metrics.Outcome.t) ->
+          let overlap =
+            Float.min upto o.finish -. Float.max from_ o.start
+          in
+          if overlap > 0.0 then
+            acc +. (overlap *. float_of_int o.job.Workload.Job.nodes)
+          else acc)
+        0.0 outcomes
+    in
+    busy /. (float_of_int machine.Cluster.Machine.nodes *. window)
+  end
+
+let simulate ?(machine = Cluster.Machine.titan) ~r_star ~policy trace =
+  let t0 = Unix.gettimeofday () in
+  let result = Engine.run ~machine ~r_star ~policy trace in
+  let wall_clock = Unix.gettimeofday () -. t0 in
+  let measured =
+    List.filter
+      (fun (o : Metrics.Outcome.t) -> Workload.Trace.in_window trace o.job)
+      result.Engine.outcomes
+  in
+  let avg_queue_length =
+    Engine.windowed_queue_average result.Engine.queue_samples
+      ~from_:(Workload.Trace.measure_start trace)
+      ~upto:(Workload.Trace.measure_end trace)
+  in
+  {
+    policy_name = policy.Sched.Policy.name;
+    r_star;
+    measured;
+    aggregate = Metrics.Aggregate.compute ~avg_queue_length measured;
+    class_matrix = Metrics.Class_matrix.compute measured;
+    decisions = result.Engine.decisions;
+    wall_clock;
+    queue_samples = result.Engine.queue_samples;
+    utilization =
+      utilization_of ~machine
+        ~from_:(Workload.Trace.measure_start trace)
+        ~upto:(Workload.Trace.measure_end trace)
+        result.Engine.outcomes;
+  }
+
+let excess t ~threshold = Metrics.Excess.compute ~threshold t.measured
+
+let fcfs_thresholds t =
+  (t.aggregate.Metrics.Aggregate.max_wait, t.aggregate.Metrics.Aggregate.p98_wait)

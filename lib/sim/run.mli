@@ -1,0 +1,38 @@
+(** One policy x one trace -> the paper's reported measures.
+
+    Wraps {!Engine.run}, restricts statistics to jobs submitted in the
+    trace's measurement window (the month, excluding warm-up and
+    cool-down) and packages the aggregate measures, the per-class
+    matrix and the raw outcomes for excessive-wait post-processing. *)
+
+type t = {
+  policy_name : string;
+  r_star : Engine.r_star;
+  measured : Metrics.Outcome.t list;  (** outcomes of in-window jobs *)
+  aggregate : Metrics.Aggregate.t;  (** over [measured]; queue length
+                                        averaged over the window *)
+  class_matrix : Metrics.Class_matrix.t;
+  decisions : int;
+  wall_clock : float;  (** host seconds spent simulating *)
+  utilization : float;
+      (** fraction of node-time actually used within the measurement
+          window (all jobs running there, not only measured ones) *)
+  queue_samples : Engine.queue_sample list;
+      (** waiting-queue length after each decision (whole simulation),
+          for backlog-dynamics analyses *)
+}
+
+val simulate :
+  ?machine:Cluster.Machine.t ->
+  r_star:Engine.r_star ->
+  policy:Sched.Policy.t ->
+  Workload.Trace.t ->
+  t
+
+val excess : t -> threshold:float -> Metrics.Excess.t
+(** Excessive wait of the measured jobs w.r.t. a threshold. *)
+
+val fcfs_thresholds : t -> float * float
+(** [(max wait, 98th-percentile wait)] of this run — applied to an
+    FCFS-backfill run they are the paper's E^max and E^98% thresholds
+    for the month. *)

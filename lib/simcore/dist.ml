@@ -1,0 +1,41 @@
+let exponential rng ~mean =
+  if mean <= 0.0 then invalid_arg "Dist.exponential: mean must be positive";
+  let u = 1.0 -. Rng.unit_float rng in
+  -.mean *. log u
+
+let uniform rng ~lo ~hi =
+  if hi < lo then invalid_arg "Dist.uniform: hi < lo";
+  lo +. Rng.float rng (hi -. lo)
+
+let log_uniform rng ~lo ~hi =
+  if lo <= 0.0 || hi < lo then invalid_arg "Dist.log_uniform: need 0 < lo <= hi";
+  exp (uniform rng ~lo:(log lo) ~hi:(log hi))
+
+let normal rng ~mean ~stddev =
+  let u1 = 1.0 -. Rng.unit_float rng in
+  let u2 = Rng.unit_float rng in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  mean +. (stddev *. z)
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mean:mu ~stddev:sigma)
+
+let categorical rng ~weights =
+  let total = Array.fold_left (fun acc w ->
+      if w < 0.0 then invalid_arg "Dist.categorical: negative weight";
+      acc +. w)
+      0.0 weights
+  in
+  if total <= 0.0 then invalid_arg "Dist.categorical: all weights zero";
+  let target = Rng.float rng total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0
+
+let bernoulli rng ~p =
+  let p = Float.max 0.0 (Float.min 1.0 p) in
+  Rng.unit_float rng < p

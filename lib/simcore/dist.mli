@@ -1,0 +1,29 @@
+(** Random distributions used by the workload generator.
+
+    All samplers draw from an explicit {!Rng.t} so that workloads are
+    reproducible and independent across generator streams. *)
+
+val exponential : Rng.t -> mean:float -> float
+(** [exponential rng ~mean] draws from Exp with the given mean.
+    @raise Invalid_argument if [mean <= 0]. *)
+
+val uniform : Rng.t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)].  @raise Invalid_argument if [hi < lo]. *)
+
+val log_uniform : Rng.t -> lo:float -> hi:float -> float
+(** Log-uniform in [\[lo, hi)]: uniform in log-space, so each decade is
+    equally likely.  Requires [0 < lo <= hi]. *)
+
+val normal : Rng.t -> mean:float -> stddev:float -> float
+(** Gaussian via Box–Muller. *)
+
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+(** [exp] of a Gaussian with parameters [mu], [sigma]. *)
+
+val categorical : Rng.t -> weights:float array -> int
+(** [categorical rng ~weights] draws index [i] with probability
+    proportional to [weights.(i)].  Weights must be non-negative and
+    not all zero.  @raise Invalid_argument otherwise. *)
+
+val bernoulli : Rng.t -> p:float -> bool
+(** True with probability [p] (clamped to [\[0,1\]]). *)

@@ -1,0 +1,47 @@
+(** Imperative binary min-heap over arbitrary elements.
+
+    The heap is parameterised by a comparison function supplied at
+    creation time.  Used by the event queue, the running-job set and the
+    schedulers' internal priority orders.  All operations are the
+    classic array-backed binary-heap operations: [push] and [pop] are
+    O(log n), [peek] is O(1). *)
+
+type 'a t
+(** A mutable min-heap of ['a] values. *)
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap ordered by [cmp] (smallest first). *)
+
+val length : 'a t -> int
+(** Number of elements currently in the heap. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty h] is [length h = 0]. *)
+
+val push : 'a t -> 'a -> unit
+(** [push h x] inserts [x]. *)
+
+val peek : 'a t -> 'a option
+(** [peek h] is the minimum element without removing it. *)
+
+val peek_exn : 'a t -> 'a
+(** Like {!peek}.  @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> 'a option
+(** [pop h] removes and returns the minimum element. *)
+
+val pop_exn : 'a t -> 'a
+(** Like {!pop}.  @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+(** Remove all elements. *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot of the heap contents in unspecified order. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+(** [of_list ~cmp xs] builds a heap containing [xs] (O(n log n)). *)
+
+val drain : 'a t -> 'a list
+(** [drain h] pops every element, returning them in ascending order and
+    leaving [h] empty. *)

@@ -1,0 +1,45 @@
+type t = { mutable state : int64 }
+
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014.  Chosen for trivial state, good statistical
+   quality at this scale, and cheap splitting. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+let copy t = { state = t.state }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling over the low 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFFL in
+  let rec draw () =
+    let bits = Int64.to_int (Int64.logand (bits64 t) mask) in
+    let value = bits mod n in
+    if bits - value + (n - 1) >= 0 then value else draw ()
+  in
+  draw ()
+
+let unit_float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t x = unit_float t *. x
+let bool t = Int64.logand (bits64 t) 1L = 1L

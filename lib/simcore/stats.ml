@@ -1,0 +1,87 @@
+module Running = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { count = 0; mean = 0.0; m2 = 0.0; sum = 0.0;
+      min = Float.infinity; max = Float.neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.mean
+
+  let min t =
+    if t.count = 0 then invalid_arg "Stats.Running.min: empty" else t.min
+
+  let max t =
+    if t.count = 0 then invalid_arg "Stats.Running.max: empty" else t.max
+
+  let stddev t =
+    if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int t.count)
+end
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.max: empty array";
+  Array.fold_left Float.max Float.neg_infinity xs
+
+module Timeline = struct
+  type t = {
+    mutable last_time : float;
+    mutable last_value : float;
+    mutable integral : float;
+    start : float;
+  }
+
+  let create ~start =
+    { last_time = start; last_value = 0.0; integral = 0.0; start }
+
+  let record t ~now ~value =
+    if now < t.last_time then
+      invalid_arg "Stats.Timeline.record: time went backwards";
+    t.integral <- t.integral +. (t.last_value *. (now -. t.last_time));
+    t.last_time <- now;
+    t.last_value <- value
+
+  let average t ~upto =
+    let span = upto -. t.start in
+    if span <= 0.0 then 0.0
+    else
+      let tail =
+        if upto > t.last_time then t.last_value *. (upto -. t.last_time)
+        else 0.0
+      in
+      (t.integral +. tail) /. span
+end

@@ -1,0 +1,54 @@
+(** Summary statistics.
+
+    Two flavours: a constant-space running accumulator ({!Running}) for
+    means and extrema, and whole-sample helpers (percentiles, etc.) on
+    float arrays.  A {!Timeline} accumulator computes time-weighted
+    averages of a step function, used for average queue length. *)
+
+module Running : sig
+  type t
+  (** Constant-space accumulator for count / mean / min / max / sum.
+      Mean uses Welford's update for numerical stability. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** [mean t] is 0.0 when empty. *)
+
+  val min : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val max : t -> float
+  (** @raise Invalid_argument when empty. *)
+
+  val stddev : t -> float
+  (** Population standard deviation; 0.0 when fewer than 2 samples. *)
+end
+
+val mean : float array -> float
+(** 0.0 on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] is the [p]-th percentile ([0 <= p <= 100]) using
+    linear interpolation between closest ranks.  Does not mutate [xs].
+    @raise Invalid_argument on an empty array or [p] out of range. *)
+
+val max : float array -> float
+(** @raise Invalid_argument on the empty array. *)
+
+module Timeline : sig
+  type t
+  (** Accumulates the time integral of a piecewise-constant signal,
+      e.g. queue length over time. *)
+
+  val create : start:float -> t
+  val record : t -> now:float -> value:float -> unit
+  (** [record t ~now ~value] states that the signal takes [value] from
+      [now] onward.  Calls must have non-decreasing [now]. *)
+
+  val average : t -> upto:float -> float
+  (** Time-weighted average of the signal from [start] to [upto].
+      0.0 when the window is empty. *)
+end

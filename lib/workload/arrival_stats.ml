@@ -1,0 +1,52 @@
+type t = { hourly : int array; daily : int array; total : int }
+
+let of_trace trace =
+  let hourly = Array.make 24 0 in
+  let daily = Array.make 7 0 in
+  let total = ref 0 in
+  List.iter
+    (fun (j : Job.t) ->
+      let hour =
+        int_of_float (Float.rem (j.submit /. Simcore.Units.hour) 24.0)
+      in
+      let day =
+        int_of_float (Float.rem (j.submit /. Simcore.Units.day) 7.0)
+      in
+      hourly.(hour) <- hourly.(hour) + 1;
+      daily.(day) <- daily.(day) + 1;
+      incr total)
+    (Trace.measured trace);
+  { hourly; daily; total = !total }
+
+let peak_to_trough t =
+  let peak = Array.fold_left max 0 t.hourly in
+  let trough = Array.fold_left min max_int t.hourly in
+  if trough = 0 then Float.infinity
+  else float_of_int peak /. float_of_int trough
+
+let weekend_weekday_ratio t =
+  let weekday =
+    (t.daily.(0) + t.daily.(1) + t.daily.(2) + t.daily.(3) + t.daily.(4))
+    |> float_of_int
+  in
+  let weekend = float_of_int (t.daily.(5) + t.daily.(6)) in
+  if weekday <= 0.0 then 0.0 else weekend /. 2.0 /. (weekday /. 5.0)
+
+let bar width value maximum =
+  if maximum = 0 then ""
+  else String.make (value * width / maximum) '#'
+
+let pp fmt t =
+  let hour_max = Array.fold_left max 0 t.hourly in
+  Format.fprintf fmt "submissions by hour of day (%d jobs):@." t.total;
+  Array.iteri
+    (fun h v ->
+      Format.fprintf fmt "  %02d:00 %6d %s@." h v (bar 30 v hour_max))
+    t.hourly;
+  let day_max = Array.fold_left max 0 t.daily in
+  let names = [| "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat"; "Sun" |] in
+  Format.fprintf fmt "submissions by day of week:@.";
+  Array.iteri
+    (fun d v ->
+      Format.fprintf fmt "  %s %6d %s@." names.(d) v (bar 30 v day_max))
+    t.daily

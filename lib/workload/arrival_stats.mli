@@ -1,0 +1,25 @@
+(** Arrival-pattern statistics of a trace.
+
+    Used to validate the generators' diurnal and weekly modulation and
+    to characterise external SWF traces (submission-time histograms are
+    the standard first plot in workload studies).  Time zero is taken
+    as Monday 00:00, as in {!Generator}. *)
+
+type t = {
+  hourly : int array;  (** 24 bins: submissions per hour of day *)
+  daily : int array;  (** 7 bins: submissions per day of week, 0 = Monday *)
+  total : int;
+}
+
+val of_trace : Trace.t -> t
+(** Measured-window jobs only. *)
+
+val peak_to_trough : t -> float
+(** Busiest hourly bin over quietest (infinity if some hour is empty);
+    1.0 means a flat profile. *)
+
+val weekend_weekday_ratio : t -> float
+(** Average Saturday/Sunday volume over average Monday-Friday volume. *)
+
+val pp : Format.formatter -> t -> unit
+(** Sparkline-style histograms. *)

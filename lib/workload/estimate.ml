@@ -1,0 +1,44 @@
+open Simcore
+
+type params = { p_exact : float; p_small : float }
+
+let default = { p_exact = 0.2; p_small = 0.25 }
+
+let grid ~limit =
+  let open Units in
+  let base =
+    [ minutes 5.0; minutes 10.0; minutes 15.0; minutes 30.0;
+      hour; hours 2.0; hours 3.0; hours 4.0; hours 6.0; hours 8.0;
+      hours 10.0; hours 12.0; hours 16.0; hours 20.0; hours 24.0;
+      hours 36.0; hours 48.0 ]
+  in
+  let below = List.filter (fun v -> v < limit) base in
+  Array.of_list (below @ [ limit ])
+
+let round_up ~limit r =
+  let g = grid ~limit in
+  let rec scan i =
+    if i >= Array.length g then limit
+    else if g.(i) >= r then g.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let draw ?(params = default) rng ~limit ~runtime =
+  let u = Rng.unit_float rng in
+  let factor =
+    if u < params.p_exact then 1.0
+    else if u < params.p_exact +. params.p_small then
+      Dist.log_uniform rng ~lo:1.0 ~hi:2.0
+    else Dist.log_uniform rng ~lo:2.0 ~hi:20.0
+  in
+  let raw = runtime *. factor in
+  let rounded = round_up ~limit (Float.min raw limit) in
+  (* Keep the invariant R >= T even when T itself exceeds the last grid
+     point below the limit. *)
+  Float.max rounded (Float.min runtime limit) |> Float.max runtime
+
+let attach ?params ~seed ~limit trace =
+  let rng = Rng.create ~seed in
+  Trace.map_jobs trace (fun j ->
+      { j with Job.requested = draw ?params rng ~limit ~runtime:j.Job.runtime })

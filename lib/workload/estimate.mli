@@ -1,0 +1,43 @@
+(** User requested-runtime model.
+
+    Real user estimates are notoriously inaccurate: a sizeable fraction
+    of jobs request far more time than they use, and requests cluster
+    on round values (1h, 2h, 4h, ...).  This module attaches synthetic
+    requested runtimes R to jobs with known actual runtime T, following
+    the overestimation mixture reported for these workloads (Chiang,
+    Arpaci-Dusseau & Vernon, JSSPP 2002):
+
+    - with probability [p_exact] the user is accurate (R rounds T up to
+      the next grid value);
+    - with probability [p_small] a mild overestimate, factor
+      log-uniform in [1, 2];
+    - otherwise a large overestimate, factor log-uniform in [2, 20].
+
+    R is always rounded up to a human "grid" value, clamped to the
+    system runtime limit and kept >= T. *)
+
+type params = {
+  p_exact : float;
+  p_small : float;
+}
+
+val default : params
+(** [p_exact = 0.2], [p_small = 0.25]. *)
+
+val grid : limit:float -> float array
+(** Ascending grid of round request values up to and including
+    [limit]. *)
+
+val round_up : limit:float -> float -> float
+(** [round_up ~limit r] is the smallest grid value >= [r], capped at
+    [limit]. *)
+
+val draw : ?params:params -> Simcore.Rng.t -> limit:float -> runtime:float -> float
+(** [draw rng ~limit ~runtime] samples a requested runtime for a job
+    with actual runtime [runtime].  Result is in
+    [\[runtime, max limit runtime\]]. *)
+
+val attach :
+  ?params:params -> seed:int -> limit:float -> Trace.t -> Trace.t
+(** Rewrite every job's [requested] field with a fresh draw;
+    deterministic in [seed]. *)

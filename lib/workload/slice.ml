@@ -1,0 +1,46 @@
+let renumber jobs =
+  List.mapi (fun id (j : Job.t) -> { j with Job.id }) jobs
+
+let by_time trace ~from_ ~upto =
+  let jobs =
+    Array.to_list (Trace.jobs trace)
+    |> List.filter (fun (j : Job.t) -> j.submit >= from_ && j.submit < upto)
+    |> List.map (fun (j : Job.t) -> { j with Job.submit = j.submit -. from_ })
+    |> renumber
+  in
+  Trace.v jobs ~measure_start:0.0 ~measure_end:(upto -. from_)
+
+let filter trace ~keep =
+  let jobs =
+    Array.to_list (Trace.jobs trace) |> List.filter keep |> renumber
+  in
+  Trace.v jobs
+    ~measure_start:(Trace.measure_start trace)
+    ~measure_end:(Trace.measure_end trace)
+
+let by_size_class trace ~node_class =
+  if node_class < 0 || node_class > 4 then
+    invalid_arg "Slice.by_size_class: class must be in 0..4";
+  filter trace ~keep:(fun j -> Job.node_class5 j.Job.nodes = node_class)
+
+let merge a b =
+  let jobs =
+    Array.to_list (Trace.jobs a) @ Array.to_list (Trace.jobs b)
+    |> List.sort Job.compare_submit
+    |> renumber
+  in
+  Trace.v jobs
+    ~measure_start:
+      (Float.min (Trace.measure_start a) (Trace.measure_start b))
+    ~measure_end:(Float.max (Trace.measure_end a) (Trace.measure_end b))
+
+let head trace ~n =
+  if n < 0 then invalid_arg "Slice.head: negative n";
+  let jobs =
+    Array.to_list (Trace.jobs trace)
+    |> List.filteri (fun i _ -> i < n)
+    |> renumber
+  in
+  Trace.v jobs
+    ~measure_start:(Trace.measure_start trace)
+    ~measure_end:(Trace.measure_end trace)

@@ -1,0 +1,26 @@
+(** Trace slicing and combination utilities.
+
+    Site logs rarely arrive in exactly the shape a study needs; these
+    helpers cut, filter and merge traces while maintaining the
+    invariants {!Trace.v} enforces (sorted, unique ids).  All functions
+    renumber job ids densely in submit order, so results are always
+    valid generator/SWF inputs. *)
+
+val by_time : Trace.t -> from_:float -> upto:float -> Trace.t
+(** Jobs submitted within [\[from_, upto)], times shifted so the slice
+    starts at 0; the measurement window becomes the whole slice. *)
+
+val filter : Trace.t -> keep:(Job.t -> bool) -> Trace.t
+(** Keep matching jobs (ids renumbered); the measurement window is
+    preserved. *)
+
+val by_size_class : Trace.t -> node_class:int -> Trace.t
+(** Only jobs in the given Table 4 node class (see
+    {!Job.node_class5}). *)
+
+val merge : Trace.t -> Trace.t -> Trace.t
+(** Interleave two traces on a common clock (ids renumbered; the
+    measurement window spans the union of both windows). *)
+
+val head : Trace.t -> n:int -> Trace.t
+(** The first [n] jobs by submit order. *)

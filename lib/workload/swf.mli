@@ -1,0 +1,39 @@
+(** Standard Workload Format (SWF) reader / writer.
+
+    SWF is the de-facto archive format for parallel-machine job traces
+    (Feitelson's Parallel Workloads Archive).  Each non-comment line
+    has 18 whitespace-separated fields; comment lines start with [';'].
+    This lets users run the schedulers on real traces (e.g. the actual
+    NCSA logs, if they have access) instead of the synthetic ones.
+
+    Field mapping into {!Job.t}:
+    - submit time      <- field 2 (seconds)
+    - actual runtime   <- field 4 (seconds)
+    - nodes            <- field 8 (requested processors), falling back
+                          to field 5 (allocated processors) when -1
+    - requested runtime <- field 9, falling back to actual runtime
+    - user             <- field 12 when present and positive
+
+    Jobs with unusable fields (non-positive runtime or width, negative
+    submit) are skipped and counted. *)
+
+type parse_result = {
+  trace : Trace.t;
+  skipped : int;  (** lines that described unusable jobs *)
+  comments : string list;  (** header comment lines, in order *)
+}
+
+val parse_line : line_number:int -> id:int -> string -> (Job.t option, string) result
+(** Parse one line.  [Ok None] for comments/blank lines and unusable
+    jobs; [Error msg] for malformed lines. *)
+
+val of_channel : in_channel -> (parse_result, string) result
+val of_string : string -> (parse_result, string) result
+val of_file : string -> (parse_result, string) result
+
+val job_line : wait:float -> Job.t -> string
+(** Render one job as an 18-field SWF line.  [wait] fills the wait-time
+    field (use 0.0 if unknown). *)
+
+val to_file : ?comments:string list -> string -> Trace.t -> unit
+(** Write a trace as an SWF file with optional header comments. *)

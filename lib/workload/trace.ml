@@ -1,0 +1,85 @@
+type t = {
+  jobs : Job.t array;
+  measure_start : float;
+  measure_end : float;
+}
+
+let v ?measure_start ?measure_end jobs =
+  let arr = Array.of_list jobs in
+  Array.sort Job.compare_submit arr;
+  let module Ids = Set.Make (Int) in
+  let _ =
+    Array.fold_left
+      (fun seen (j : Job.t) ->
+        if Ids.mem j.id seen then
+          invalid_arg (Printf.sprintf "Trace.v: duplicate job id %d" j.id);
+        Ids.add j.id seen)
+      Ids.empty arr
+  in
+  let default_start =
+    if Array.length arr = 0 then 0.0 else arr.(0).Job.submit
+  in
+  let default_end =
+    (* strictly beyond the last submission so the final job is inside
+       the half-open window (Float.succ, not an absolute epsilon, which
+       would be absorbed for large times) *)
+    if Array.length arr = 0 then 0.0
+    else Float.succ arr.(Array.length arr - 1).Job.submit
+  in
+  {
+    jobs = arr;
+    measure_start = Option.value measure_start ~default:default_start;
+    measure_end = Option.value measure_end ~default:default_end;
+  }
+
+let jobs t = t.jobs
+let length t = Array.length t.jobs
+let measure_start t = t.measure_start
+let measure_end t = t.measure_end
+
+let in_window t (j : Job.t) =
+  j.submit >= t.measure_start && j.submit < t.measure_end
+
+let measured t = List.filter (in_window t) (Array.to_list t.jobs)
+
+let total_demand t =
+  Array.fold_left (fun acc j -> acc +. Job.area j) 0.0 t.jobs
+
+let measured_demand t =
+  Array.fold_left
+    (fun acc j -> if in_window t j then acc +. Job.area j else acc)
+    0.0 t.jobs
+
+let offered_load t ~capacity =
+  let window = t.measure_end -. t.measure_start in
+  if window <= 0.0 then 0.0
+  else measured_demand t /. (float_of_int capacity *. window)
+
+let scale_load t ~capacity ~target =
+  if target <= 0.0 then invalid_arg "Trace.scale_load: target <= 0";
+  let current = offered_load t ~capacity in
+  if current <= 0.0 then invalid_arg "Trace.scale_load: trace has no load";
+  (* Compressing all submit times by [factor < 1] multiplies the load by
+     [1/factor]; the window shrinks by the same factor. *)
+  let factor = current /. target in
+  let origin = if Array.length t.jobs = 0 then 0.0 else t.jobs.(0).Job.submit in
+  let squeeze time = origin +. ((time -. origin) *. factor) in
+  let jobs =
+    Array.to_list t.jobs
+    |> List.map (fun (j : Job.t) -> { j with Job.submit = squeeze j.submit })
+  in
+  v jobs ~measure_start:(squeeze t.measure_start)
+    ~measure_end:(squeeze t.measure_end)
+
+let map_jobs t f =
+  v
+    (List.map f (Array.to_list t.jobs))
+    ~measure_start:t.measure_start ~measure_end:t.measure_end
+
+let concat_stats t =
+  Printf.sprintf "%d jobs (%d measured), window [%.1fd, %.1fd), demand %.3e node-s"
+    (length t)
+    (List.length (measured t))
+    (Simcore.Units.to_days t.measure_start)
+    (Simcore.Units.to_days t.measure_end)
+    (total_demand t)

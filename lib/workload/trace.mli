@@ -1,0 +1,48 @@
+(** A job trace: an immutable, submit-ordered collection of jobs plus
+    the measurement window used for reporting.
+
+    Simulations include a warm-up and cool-down week around the month
+    being measured (as in the paper); only jobs submitted inside
+    [measure_start, measure_end) contribute to reported statistics. *)
+
+type t
+
+val v : ?measure_start:float -> ?measure_end:float -> Job.t list -> t
+(** [v jobs] builds a trace.  Jobs are sorted by submit time; ids must
+    be unique.  The measurement window defaults to the full span of the
+    submissions.  @raise Invalid_argument on duplicate ids. *)
+
+val jobs : t -> Job.t array
+(** Submit-ordered jobs (do not mutate). *)
+
+val length : t -> int
+val measure_start : t -> float
+val measure_end : t -> float
+
+val measured : t -> Job.t list
+(** Jobs submitted within the measurement window, submit order. *)
+
+val in_window : t -> Job.t -> bool
+(** Whether a job is inside the measurement window. *)
+
+val total_demand : t -> float
+(** Sum of N x T over all jobs, node-seconds. *)
+
+val offered_load : t -> capacity:int -> float
+(** [offered_load t ~capacity] is total demand of *measured* jobs
+    divided by capacity x measurement-window length. *)
+
+val scale_load : t -> capacity:int -> target:float -> t
+(** [scale_load t ~capacity ~target] compresses inter-arrival times by
+    a constant factor so that the offered load of the measured window
+    becomes [target] (the paper's rho = 0.9 construction).  Runtimes
+    and node counts are unchanged; the measurement window is compressed
+    by the same factor.  @raise Invalid_argument if the trace has no
+    load or [target <= 0]. *)
+
+val map_jobs : t -> (Job.t -> Job.t) -> t
+(** Apply a per-job transformation (e.g. attach requested runtimes),
+    keeping the window. *)
+
+val concat_stats : t -> string
+(** One-line human-readable summary. *)

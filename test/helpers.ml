@@ -1,0 +1,29 @@
+(* Shared helpers for the test suite. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  nn = 0 || scan 0
+
+let job ?(id = 0) ?(submit = 0.0) ?(nodes = 1) ?(runtime = 3600.0) ?requested
+    () =
+  Workload.Job.v ~id ~submit ~nodes ~runtime
+    ~requested:(Option.value requested ~default:runtime)
+
+(* Deterministic mini-workload: [n] jobs with pseudo-random sizes and
+   runtimes, arriving over [horizon] seconds. *)
+let mini_trace ?(n = 40) ?(capacity = 16) ?(horizon = 7200.0) ~seed () =
+  let rng = Simcore.Rng.create ~seed in
+  let jobs =
+    List.init n (fun id ->
+        let nodes = 1 + Simcore.Rng.int rng capacity in
+        let runtime = 60.0 +. Simcore.Rng.float rng 3600.0 in
+        let submit = Simcore.Rng.float rng horizon in
+        let requested = runtime *. (1.0 +. Simcore.Rng.float rng 3.0) in
+        Workload.Job.v ~id ~submit ~nodes ~runtime ~requested)
+  in
+  Workload.Trace.v jobs

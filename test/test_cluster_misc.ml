@@ -1,0 +1,82 @@
+(* Tests for Cluster.Machine and Cluster.Running_set. *)
+
+open Cluster
+
+let entry ?(id = 0) ?(nodes = 4) ?(start = 0.0) ?(runtime = 100.0) () =
+  let job = Helpers.job ~id ~nodes ~runtime () in
+  {
+    Running_set.job;
+    start;
+    finish = start +. runtime;
+    est_finish = start +. runtime;
+  }
+
+let test_machine () =
+  Alcotest.(check int) "titan nodes" 128 Machine.titan.Machine.nodes;
+  Alcotest.check_raises "at least one node"
+    (Invalid_argument "Machine.v: nodes must be >= 1") (fun () ->
+      ignore (Machine.v ~nodes:0));
+  let m = Machine.v ~nodes:8 in
+  Alcotest.(check bool) "fits" true (Machine.fits m (Helpers.job ~nodes:8 ()));
+  Alcotest.(check bool) "too wide" false
+    (Machine.fits m (Helpers.job ~nodes:9 ()))
+
+let test_running_set_accounting () =
+  let rs = Running_set.create ~machine:(Machine.v ~nodes:16) in
+  Alcotest.(check bool) "starts empty" true (Running_set.is_empty rs);
+  Running_set.add rs (entry ~id:0 ~nodes:4 ());
+  Running_set.add rs (entry ~id:1 ~nodes:8 ());
+  Alcotest.(check int) "busy" 12 (Running_set.busy_nodes rs);
+  Alcotest.(check int) "free" 4 (Running_set.free_nodes rs);
+  Alcotest.(check int) "count" 2 (Running_set.count rs);
+  let e = Running_set.remove rs ~id:0 in
+  Alcotest.(check int) "removed job id" 0 e.Running_set.job.Workload.Job.id;
+  Alcotest.(check int) "free after remove" 8 (Running_set.free_nodes rs)
+
+let test_running_set_rejects () =
+  let rs = Running_set.create ~machine:(Machine.v ~nodes:8) in
+  Running_set.add rs (entry ~id:0 ~nodes:8 ());
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Running_set.add: job 0 already running") (fun () ->
+      Running_set.add rs (entry ~id:0 ~nodes:1 ()));
+  Alcotest.check_raises "oversubscription"
+    (Invalid_argument "Running_set.add: job 1 oversubscribes machine")
+    (fun () -> Running_set.add rs (entry ~id:1 ~nodes:1 ()));
+  Alcotest.check_raises "remove missing" Not_found (fun () ->
+      ignore (Running_set.remove rs ~id:99))
+
+let test_releases_and_next_finish () =
+  let rs = Running_set.create ~machine:(Machine.v ~nodes:16) in
+  Running_set.add rs (entry ~id:0 ~nodes:4 ~start:0.0 ~runtime:100.0 ());
+  Running_set.add rs (entry ~id:1 ~nodes:2 ~start:0.0 ~runtime:50.0 ());
+  Alcotest.(check (option (float 1e-9))) "next finish" (Some 50.0)
+    (Running_set.next_finish rs);
+  let releases = List.sort compare (Running_set.releases rs ~now:10.0) in
+  Alcotest.(check int) "two releases" 2 (List.length releases);
+  Alcotest.(check (float 1e-9)) "first release" 50.0 (fst (List.hd releases))
+
+let test_releases_clamp_past_estimates () =
+  let rs = Running_set.create ~machine:(Machine.v ~nodes:16) in
+  let e = { (entry ~id:0 ~nodes:4 ~start:0.0 ~runtime:100.0 ()) with
+            Running_set.est_finish = 5.0 }
+  in
+  Running_set.add rs e;
+  (* at now = 10 the estimate has expired but the job still runs *)
+  match Running_set.releases rs ~now:10.0 with
+  | [ (t, nodes) ] ->
+      Alcotest.(check int) "nodes" 4 nodes;
+      Alcotest.(check bool) "release strictly after now" true (t > 10.0)
+  | other ->
+      Alcotest.failf "expected one release, got %d" (List.length other)
+
+let suite =
+  [
+    Alcotest.test_case "machine" `Quick test_machine;
+    Alcotest.test_case "running set accounting" `Quick
+      test_running_set_accounting;
+    Alcotest.test_case "running set rejects" `Quick test_running_set_rejects;
+    Alcotest.test_case "releases / next_finish" `Quick
+      test_releases_and_next_finish;
+    Alcotest.test_case "releases clamp past estimates" `Quick
+      test_releases_clamp_past_estimates;
+  ]

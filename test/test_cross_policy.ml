@@ -1,0 +1,112 @@
+(* Cross-policy end-to-end properties: every policy in the library,
+   driven over random mini workloads, must satisfy the fundamental
+   scheduling invariants.  (The engine itself enforces capacity; these
+   properties check completion, causality and work conservation at the
+   whole-simulation level.) *)
+
+let machine = Cluster.Machine.v ~nodes:16
+
+let all_policies () =
+  let search config = fst (Core.Search_policy.policy config) in
+  [
+    Sched.Backfill.fcfs;
+    Sched.Backfill.lxf;
+    Sched.Backfill.sjf;
+    Sched.Backfill.policy (Sched.Priority.lxf_w ~weight_per_hour:0.02);
+    Sched.Conservative.policy ();
+    Sched.Selective.policy ();
+    Sched.Lookahead.policy ();
+    Sched.Relaxed.policy ();
+    Sched.Multi_queue.policy ();
+    Sched.Policy.run_now;
+    search (Core.Search_policy.dds_lxf_dynb ~budget:150);
+    search
+      (Core.Search_policy.v ~algorithm:Core.Search.Lds
+         ~heuristic:Core.Branching.Fcfs ~bound:(Core.Bound.fixed_hours 1.0)
+         ~budget:150 ());
+    search
+      (Core.Search_policy.v ~algorithm:Core.Search.Lds_original
+         ~heuristic:Core.Branching.Lxf ~bound:Core.Bound.dynamic ~budget:150
+         ());
+    search
+      (Core.Search_policy.v ~prune:true ~local_search:true ~fairshare:1.5
+         ~algorithm:Core.Search.Dds ~heuristic:Core.Branching.Lxf
+         ~bound:Core.Bound.dynamic ~budget:150 ());
+  ]
+
+let outcomes_ok n (result : Sim.Engine.result) =
+  let outcomes = result.Sim.Engine.outcomes in
+  List.length outcomes = n
+  && List.for_all
+       (fun (o : Metrics.Outcome.t) ->
+         o.start >= o.job.Workload.Job.submit -. 1e-9
+         && Float.abs
+              (o.finish -. o.start
+              -. Float.min o.job.Workload.Job.runtime
+                   o.job.Workload.Job.requested)
+            < 1e-6)
+       outcomes
+
+let never_oversubscribed (result : Sim.Engine.result) =
+  let events =
+    List.concat_map
+      (fun (o : Metrics.Outcome.t) ->
+        [ (o.start, o.job.Workload.Job.nodes);
+          (o.finish, -o.job.Workload.Job.nodes) ])
+      result.Sim.Engine.outcomes
+    |> List.sort (fun (ta, da) (tb, db) ->
+           let c = Float.compare ta tb in
+           if c <> 0 then c else Int.compare da db)
+  in
+  let current = ref 0 in
+  List.for_all
+    (fun (_, delta) ->
+      current := !current + delta;
+      !current <= machine.Cluster.Machine.nodes)
+    events
+
+let prop_all_policies_sound =
+  QCheck.Test.make ~name:"all policies: complete, causal, within capacity"
+    ~count:15 QCheck.small_int
+    (fun seed ->
+      let n = 30 in
+      let trace =
+        Helpers.mini_trace ~seed:(seed + 1) ~n ~capacity:16 ~horizon:4000.0 ()
+      in
+      let trace =
+        Workload.Trace.map_jobs trace (fun j ->
+            Workload.Job.with_user (1 + (j.Workload.Job.id mod 3)) j)
+      in
+      List.for_all
+        (fun policy ->
+          let result =
+            Sim.Engine.run ~machine ~r_star:Sim.Engine.Actual ~policy trace
+          in
+          outcomes_ok n result && never_oversubscribed result)
+        (all_policies ()))
+
+let prop_estimators_sound =
+  QCheck.Test.make ~name:"all estimators: complete and causal" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let n = 30 in
+      let trace = Helpers.mini_trace ~seed:(seed + 100) ~n ~capacity:16 () in
+      List.for_all
+        (fun r_star ->
+          let result =
+            Sim.Engine.run ~machine ~r_star ~policy:Sched.Backfill.lxf trace
+          in
+          outcomes_ok n result && never_oversubscribed result)
+        [ Sim.Engine.Actual; Sim.Engine.Requested; Sim.Engine.Predicted ])
+
+let test_profile_pp () =
+  let p = Cluster.Profile.of_running ~now:0.0 ~capacity:128 [ (3600.0, 64) ] in
+  Alcotest.(check string) "rendered" "[0.0s:64 1.00h:128]"
+    (Format.asprintf "%a" Cluster.Profile.pp p)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_all_policies_sound;
+    QCheck_alcotest.to_alcotest prop_estimators_sound;
+    Alcotest.test_case "profile pp" `Quick test_profile_pp;
+  ]

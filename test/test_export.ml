@@ -1,0 +1,56 @@
+(* Tests for outcome export (CSV and SWF-with-waits). *)
+
+let outcome ?(id = 0) ?(user = 0) ?(submit = 0.0) ~wait () =
+  let job = Helpers.job ~id ~submit ~nodes:4 ~runtime:600.0 () in
+  let job = if user > 0 then Workload.Job.with_user user job else job in
+  Metrics.Outcome.v ~job ~start:(submit +. wait)
+    ~finish:(submit +. wait +. 600.0)
+
+let test_csv_row () =
+  let row = Metrics.Export.csv_row (outcome ~id:3 ~user:7 ~wait:120.0 ()) in
+  Alcotest.(check string) "row"
+    "3,7,4,0,120,720,600,600,120,1.2000" row
+
+let test_csv_file () =
+  let path = Filename.temp_file "export" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Metrics.Export.to_csv path
+        [ outcome ~id:1 ~submit:50.0 ~wait:0.0 (); outcome ~id:0 ~wait:10.0 () ];
+      let ic = open_in path in
+      let lines = List.init 3 (fun _ -> input_line ic) in
+      close_in ic;
+      Alcotest.(check string) "header" Metrics.Export.csv_header
+        (List.nth lines 0);
+      (* submit order: job 0 (t=0) before job 1 (t=50) *)
+      Alcotest.(check bool) "sorted by submit" true
+        (String.length (List.nth lines 1) > 0
+        && (List.nth lines 1).[0] = '0'))
+
+let test_swf_roundtrip_with_waits () =
+  let path = Filename.temp_file "export" ".swf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Metrics.Export.to_swf path ~comments:[ "; simulated" ]
+        [ outcome ~id:0 ~wait:300.0 () ];
+      match Workload.Swf.of_file path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check int) "one job" 1
+            (Workload.Trace.length r.Workload.Swf.trace);
+          (* the wait field is carried in the file (3rd column) *)
+          let ic = open_in path in
+          let _comment = input_line ic in
+          let line = input_line ic in
+          close_in ic;
+          let fields = String.split_on_char ' ' line in
+          Alcotest.(check string) "wait field" "300" (List.nth fields 2))
+
+let suite =
+  [
+    Alcotest.test_case "csv row" `Quick test_csv_row;
+    Alcotest.test_case "csv file" `Quick test_csv_file;
+    Alcotest.test_case "swf with waits" `Quick test_swf_roundtrip_with_waits;
+  ]

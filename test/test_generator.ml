@@ -1,0 +1,179 @@
+(* Tests for the calibrated synthetic workload generator. *)
+
+open Workload
+
+let month_small ?(scale = 0.2) ?(seed = 42) label =
+  let profile = Month_profile.find label in
+  let config = { Generator.default_config with scale; seed } in
+  (profile, Generator.month ~config profile)
+
+let test_deterministic () =
+  let _, a = month_small "7/03" in
+  let _, b = month_small "7/03" in
+  Alcotest.(check int) "same length" (Trace.length a) (Trace.length b);
+  Array.iteri
+    (fun i (ja : Job.t) ->
+      let jb = (Trace.jobs b).(i) in
+      Alcotest.(check (float 1e-9)) "same submit" ja.submit jb.Job.submit;
+      Alcotest.(check int) "same nodes" ja.nodes jb.Job.nodes;
+      Alcotest.(check (float 1e-9)) "same runtime" ja.runtime jb.Job.runtime)
+    (Trace.jobs a)
+
+let test_seed_changes_workload () =
+  let _, a = month_small ~seed:1 "7/03" in
+  let _, b = month_small ~seed:2 "7/03" in
+  let ja = Trace.jobs a and jb = Trace.jobs b in
+  let n = min (Array.length ja) (Array.length jb) in
+  let differs = ref false in
+  for i = 0 to n - 1 do
+    if ja.(i).Job.submit <> jb.(i).Job.submit
+       || ja.(i).Job.nodes <> jb.(i).Job.nodes
+    then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_job_count () =
+  let profile, t = month_small ~scale:0.2 "10/03" in
+  let expected =
+    int_of_float (Float.round (0.2 *. float_of_int profile.Month_profile.n_jobs))
+  in
+  let measured = List.length (Trace.measured t) in
+  Alcotest.(check int) "measured job count" expected measured
+
+let test_jobs_within_limits () =
+  let profile, t = month_small "12/03" in
+  Array.iter
+    (fun (j : Job.t) ->
+      Alcotest.(check bool) "nodes within machine" true
+        (j.nodes >= 1 && j.nodes <= Month_profile.capacity);
+      Alcotest.(check bool) "runtime within limit" true
+        (j.runtime > 0.0
+        && j.runtime <= profile.Month_profile.runtime_limit +. 1e-6);
+      Alcotest.(check bool) "requested >= runtime" true
+        (j.requested >= j.runtime))
+    (Trace.jobs t)
+
+let test_load_calibration () =
+  List.iter
+    (fun label ->
+      let profile, t = month_small ~scale:0.5 label in
+      let load = Trace.offered_load t ~capacity:Month_profile.capacity in
+      let target = profile.Month_profile.load in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s load %.2f within 0.02 of %.2f" label load target)
+        true
+        (Float.abs (load -. target) < 0.02))
+    [ "6/03"; "7/03"; "1/04"; "3/04" ]
+
+let test_mix_calibration () =
+  let profile, t = month_small ~scale:0.5 "10/03" in
+  let mix = Mix_report.of_trace ~capacity:Month_profile.capacity t in
+  let norm arr =
+    let s = Array.fold_left ( +. ) 0.0 arr in
+    Array.map (fun v -> 100.0 *. v /. s) arr
+  in
+  let jobs_diff =
+    Mix_report.max_abs_diff mix.Mix_report.jobs8
+      (norm profile.Month_profile.jobs8)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "job-mix within 5 points (got %.1f)" jobs_diff)
+    true (jobs_diff < 5.0);
+  let demand_diff =
+    Mix_report.max_abs_diff mix.Mix_report.demand8
+      (norm profile.Month_profile.demand8)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "demand within 12 points (got %.1f)" demand_diff)
+    true (demand_diff < 12.0)
+
+let test_runtime_class_calibration () =
+  let profile, t = month_small ~scale:0.5 "1/04" in
+  let mix = Mix_report.of_trace ~capacity:Month_profile.capacity t in
+  (* January 2004's signature features should survive generation: many
+     long one-node jobs and many short 9-32-node jobs. *)
+  Alcotest.(check bool) "1/04 long one-node jobs prominent" true
+    (mix.Mix_report.long5.(0) > 12.0);
+  Alcotest.(check bool) "1/04 short 9-32 jobs prominent" true
+    (mix.Mix_report.short5.(3) > 10.0);
+  ignore profile
+
+let test_warmup_cooldown_windows () =
+  let _, t = month_small ~scale:0.2 "6/03" in
+  let start = Trace.measure_start t and stop = Trace.measure_end t in
+  (* the final load correction rescales the time axis by a few percent,
+     so compare proportionally *)
+  Alcotest.(check bool) "warmup is about a scaled week" true
+    (Float.abs ((start /. (Simcore.Units.week *. 0.2)) -. 1.0) < 0.25);
+  Alcotest.(check bool) "window is about a scaled month" true
+    (Float.abs (((stop -. start) /. (Month_profile.span *. 0.2)) -. 1.0) < 0.25);
+  let before = ref 0 and inside = ref 0 and after = ref 0 in
+  Array.iter
+    (fun (j : Job.t) ->
+      if j.submit < start then incr before
+      else if j.submit < stop then incr inside
+      else incr after)
+    (Trace.jobs t);
+  Alcotest.(check bool) "warmup jobs exist" true (!before > 0);
+  Alcotest.(check bool) "cooldown jobs exist" true (!after > 0);
+  Alcotest.(check bool) "most jobs in window" true (!inside > !before + !after)
+
+let test_arrival_times_ordered_and_bounded () =
+  let rng = Simcore.Rng.create ~seed:4 in
+  let times =
+    Generator.arrival_times rng ~origin:100.0 ~span:1000.0 ~count:200
+  in
+  Alcotest.(check int) "count" 200 (Array.length times);
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "in range" true (v >= 100.0 && v < 1100.0);
+      if i > 0 then
+        Alcotest.(check bool) "ascending" true (v >= times.(i - 1)))
+    times
+
+let test_draw_nodes_in_range () =
+  let rng = Simcore.Rng.create ~seed:6 in
+  let bounds = [| (1, 1); (2, 2); (3, 4); (5, 8); (9, 16); (17, 32);
+                  (33, 64); (65, 128) |]
+  in
+  for range = 0 to 7 do
+    let lo, hi = bounds.(range) in
+    for _ = 1 to 200 do
+      let n = Generator.draw_nodes rng ~range in
+      Alcotest.(check bool)
+        (Printf.sprintf "range %d: %d in [%d,%d]" range n lo hi)
+        true
+        (n >= lo && n <= hi)
+    done
+  done
+
+let test_bucket_bounds () =
+  let limit = Simcore.Units.hours 24.0 in
+  let lo0, hi0 = Generator.bucket_bounds ~limit 0 in
+  let lo1, hi1 = Generator.bucket_bounds ~limit 1 in
+  let lo2, hi2 = Generator.bucket_bounds ~limit 2 in
+  Alcotest.(check (float 1e-9)) "short top = 1h" Simcore.Units.hour hi0;
+  Alcotest.(check (float 1e-9)) "middle spans 1h..5h" Simcore.Units.hour lo1;
+  Alcotest.(check (float 1e-9)) "middle top = 5h" (Simcore.Units.hours 5.0) hi1;
+  Alcotest.(check (float 1e-9)) "long spans 5h..limit"
+    (Simcore.Units.hours 5.0) lo2;
+  Alcotest.(check (float 1e-9)) "long top = limit" limit hi2;
+  Alcotest.(check bool) "short low positive" true (lo0 > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic in seed" `Quick test_deterministic;
+    Alcotest.test_case "seed changes workload" `Quick test_seed_changes_workload;
+    Alcotest.test_case "job count matches scale" `Quick test_job_count;
+    Alcotest.test_case "jobs within limits" `Quick test_jobs_within_limits;
+    Alcotest.test_case "load calibration" `Quick test_load_calibration;
+    Alcotest.test_case "mix calibration" `Quick test_mix_calibration;
+    Alcotest.test_case "runtime-class calibration (1/04)" `Quick
+      test_runtime_class_calibration;
+    Alcotest.test_case "warmup/cooldown windows" `Quick
+      test_warmup_cooldown_windows;
+    Alcotest.test_case "arrival times" `Quick
+      test_arrival_times_ordered_and_bounded;
+    Alcotest.test_case "draw_nodes ranges" `Quick test_draw_nodes_in_range;
+    Alcotest.test_case "bucket bounds" `Quick test_bucket_bounds;
+  ]

@@ -1,0 +1,83 @@
+(* Unit and property tests for Simcore.Heap. *)
+
+let int_heap xs = Simcore.Heap.of_list ~cmp:Int.compare xs
+
+let test_empty () =
+  let h = Simcore.Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Simcore.Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Simcore.Heap.length h);
+  Alcotest.(check (option int)) "peek" None (Simcore.Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Simcore.Heap.pop h)
+
+let test_exn_on_empty () =
+  let h = Simcore.Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "peek_exn" (Invalid_argument "Heap.peek_exn: empty heap")
+    (fun () -> ignore (Simcore.Heap.peek_exn h));
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Simcore.Heap.pop_exn h))
+
+let test_ordering () =
+  let h = int_heap [ 5; 1; 4; 1; 3; 9; 2 ] in
+  Alcotest.(check (list int)) "drain ascending" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (Simcore.Heap.drain h);
+  Alcotest.(check bool) "empty after drain" true (Simcore.Heap.is_empty h)
+
+let test_peek_stability () =
+  let h = int_heap [ 3; 1; 2 ] in
+  Alcotest.(check int) "peek min" 1 (Simcore.Heap.peek_exn h);
+  Alcotest.(check int) "still there" 3 (Simcore.Heap.length h)
+
+let test_interleaved () =
+  let h = Simcore.Heap.create ~cmp:Int.compare in
+  Simcore.Heap.push h 10;
+  Simcore.Heap.push h 5;
+  Alcotest.(check int) "pop 5" 5 (Simcore.Heap.pop_exn h);
+  Simcore.Heap.push h 1;
+  Simcore.Heap.push h 7;
+  Alcotest.(check int) "pop 1" 1 (Simcore.Heap.pop_exn h);
+  Alcotest.(check int) "pop 7" 7 (Simcore.Heap.pop_exn h);
+  Alcotest.(check int) "pop 10" 10 (Simcore.Heap.pop_exn h)
+
+let test_clear () =
+  let h = int_heap [ 1; 2; 3 ] in
+  Simcore.Heap.clear h;
+  Alcotest.(check int) "cleared" 0 (Simcore.Heap.length h);
+  Simcore.Heap.push h 42;
+  Alcotest.(check int) "usable after clear" 42 (Simcore.Heap.pop_exn h)
+
+let test_to_list_snapshot () =
+  let h = int_heap [ 4; 2; 6 ] in
+  let snapshot = List.sort Int.compare (Simcore.Heap.to_list h) in
+  Alcotest.(check (list int)) "contents" [ 2; 4; 6 ] snapshot;
+  Alcotest.(check int) "heap untouched" 3 (Simcore.Heap.length h)
+
+let prop_drain_sorts =
+  QCheck.Test.make ~name:"heap drain = List.sort" ~count:300
+    QCheck.(list int)
+    (fun xs -> Simcore.Heap.drain (int_heap xs) = List.sort Int.compare xs)
+
+let prop_length =
+  QCheck.Test.make ~name:"heap length = list length" ~count:300
+    QCheck.(list int)
+    (fun xs -> Simcore.Heap.length (int_heap xs) = List.length xs)
+
+let prop_min_at_top =
+  QCheck.Test.make ~name:"heap peek = list min" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 50) int)
+    (fun xs ->
+      Simcore.Heap.peek_exn (int_heap xs)
+      = List.fold_left min (List.hd xs) xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "exceptions on empty" `Quick test_exn_on_empty;
+    Alcotest.test_case "drain is ascending" `Quick test_ordering;
+    Alcotest.test_case "peek does not remove" `Quick test_peek_stability;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "to_list snapshot" `Quick test_to_list_snapshot;
+    QCheck_alcotest.to_alcotest prop_drain_sorts;
+    QCheck_alcotest.to_alcotest prop_length;
+    QCheck_alcotest.to_alcotest prop_min_at_top;
+  ]

@@ -1,0 +1,148 @@
+(* Tests for the textual policy-spec parser and experiment plumbing. *)
+
+let parse spec = Experiments.Policy_spec.parse ~budget:500 spec
+
+let name_of spec =
+  match parse spec with
+  | Ok p -> p.Sched.Policy.name
+  | Error e -> Alcotest.failf "expected %s to parse, got: %s" spec e
+
+let test_backfill_specs () =
+  Alcotest.(check string) "fcfs-bf" "FCFS-backfill" (name_of "fcfs-bf");
+  Alcotest.(check string) "lxf-bf" "LXF-backfill" (name_of "lxf-bf");
+  Alcotest.(check string) "sjf-bf" "SJF-backfill" (name_of "sjf-bf");
+  Alcotest.(check bool) "case insensitive" true
+    (name_of "FCFS-BF" = "FCFS-backfill")
+
+let test_variant_specs () =
+  Alcotest.(check string) "lookahead" "lookahead-backfill" (name_of "lookahead");
+  Alcotest.(check bool) "relaxed" true
+    (Helpers.contains (name_of "relaxed") "relaxed-backfill");
+  Alcotest.(check bool) "selective" true
+    (Helpers.contains (name_of "selective") "selective-backfill");
+  Alcotest.(check bool) "conservative" true
+    (Helpers.contains (name_of "conservative") "conservative");
+  Alcotest.(check string) "run-now" "run-now" (name_of "run-now")
+
+let test_search_specs () =
+  Alcotest.(check string) "headline" "DDS/lxf/dynB(L=500)"
+    (name_of "dds/lxf/dynb");
+  Alcotest.(check string) "lds fixed" "LDS/fcfs/w=50h(L=500)"
+    (name_of "lds/fcfs/w=50");
+  Alcotest.(check string) "runtime bound" "DDS/lxf/rtB(1h+2T)(L=500)"
+    (name_of "dds/lxf/rt=1:2");
+  Alcotest.(check string) "options" "DDS/lxf/dynB(L=500)+bnb+ls"
+    (name_of "dds/lxf/dynb+bnb+ls");
+  Alcotest.(check string) "fairshare option" "DDS/lxf/dynB(L=500)+fair(2)"
+    (name_of "dds/lxf/dynb+fair")
+
+let test_bad_specs () =
+  List.iter
+    (fun spec ->
+      match parse spec with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" spec
+      | Error _ -> ())
+    [ "nonsense"; "dds/lxf"; "dds/nope/dynb"; "nope/lxf/dynb";
+      "dds/lxf/w=abc"; "dds/lxf/rt=1"; "dds/lxf/w=-5" ]
+
+let test_known_all_parse () =
+  List.iter
+    (fun spec ->
+      match parse spec with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "known spec %S failed: %s" spec e)
+    Experiments.Policy_spec.known
+
+let test_chart_rendering () =
+  let buffer = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buffer in
+  Experiments.Chart.grouped_bars fmt ~title:"demo" ~groups:[ "a"; "b" ]
+    ~series:[ ("p1", [ 1.0; 2.0 ]); ("p2", [ 0.0; 4.0 ]) ];
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buffer in
+  Alcotest.(check bool) "title shown" true (Helpers.contains out "demo");
+  Alcotest.(check bool) "group label shown" true (Helpers.contains out "a");
+  Alcotest.(check bool) "bars drawn" true (Helpers.contains out "####");
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument
+       "Chart.grouped_bars: series \"p1\" has 1 values for 2 groups")
+    (fun () ->
+      Experiments.Chart.grouped_bars fmt ~title:"x" ~groups:[ "a"; "b" ]
+        ~series:[ ("p1", [ 1.0 ]) ])
+
+let test_chart_enabled_env () =
+  let with_env value f =
+    let old = Sys.getenv_opt "REPRO_BARS" in
+    Unix.putenv "REPRO_BARS" value;
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "REPRO_BARS" (Option.value old ~default:""))
+      f
+  in
+  with_env "1" (fun () ->
+      Alcotest.(check bool) "1 enables" true (Experiments.Chart.enabled ()));
+  with_env "yes" (fun () ->
+      Alcotest.(check bool) "yes enables" true (Experiments.Chart.enabled ()));
+  with_env "0" (fun () ->
+      Alcotest.(check bool) "0 disables" false (Experiments.Chart.enabled ()));
+  with_env "" (fun () ->
+      Alcotest.(check bool) "empty disables" false (Experiments.Chart.enabled ()))
+
+let test_chart_all_zero () =
+  let buffer = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer buffer in
+  Experiments.Chart.grouped_bars fmt ~title:"zeros" ~groups:[ "a" ]
+    ~series:[ ("p", [ 0.0 ]) ];
+  Format.pp_print_flush fmt ();
+  Alcotest.(check bool) "degenerate message" true
+    (Helpers.contains (Buffer.contents buffer) "all values zero")
+
+let test_common_load_labels () =
+  Alcotest.(check string) "original" "original"
+    (Experiments.Common.load_label Experiments.Common.Original);
+  Alcotest.(check string) "rho" "rho=0.90"
+    (Experiments.Common.load_label (Experiments.Common.Rho 0.9))
+
+let test_common_months_default () =
+  (* no REPRO_MONTHS in the test environment: all ten months *)
+  match Sys.getenv_opt "REPRO_MONTHS" with
+  | Some _ -> ()
+  | None ->
+      Alcotest.(check int) "ten months" 10
+        (List.length (Experiments.Common.months ()))
+
+let test_common_memoization () =
+  let m = Workload.Month_profile.find "8/03" in
+  (* same physical trace returned on repeated calls *)
+  let a = Experiments.Common.trace m Experiments.Common.Original in
+  let b = Experiments.Common.trace m Experiments.Common.Original in
+  Alcotest.(check bool) "trace memoized" true (a == b);
+  let calls = ref 0 in
+  let policy () =
+    incr calls;
+    Sched.Policy.run_now
+  in
+  let run1 =
+    Experiments.Common.simulate ~policy_key:"memo-test" ~policy
+      ~r_star:Sim.Engine.Actual m Experiments.Common.Original
+  in
+  let run2 =
+    Experiments.Common.simulate ~policy_key:"memo-test" ~policy
+      ~r_star:Sim.Engine.Actual m Experiments.Common.Original
+  in
+  Alcotest.(check bool) "run memoized" true (run1 == run2);
+  Alcotest.(check int) "policy constructed once" 1 !calls
+
+let suite =
+  [
+    Alcotest.test_case "backfill specs" `Quick test_backfill_specs;
+    Alcotest.test_case "variant specs" `Quick test_variant_specs;
+    Alcotest.test_case "search specs" `Quick test_search_specs;
+    Alcotest.test_case "bad specs rejected" `Quick test_bad_specs;
+    Alcotest.test_case "all known specs parse" `Quick test_known_all_parse;
+    Alcotest.test_case "chart rendering" `Quick test_chart_rendering;
+    Alcotest.test_case "chart enabled env" `Quick test_chart_enabled_env;
+    Alcotest.test_case "chart all zero" `Quick test_chart_all_zero;
+    Alcotest.test_case "load labels" `Quick test_common_load_labels;
+    Alcotest.test_case "months default" `Quick test_common_months_default;
+    Alcotest.test_case "memoization" `Slow test_common_memoization;
+  ]

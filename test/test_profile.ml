@@ -1,0 +1,182 @@
+(* Unit and property tests for the availability profile. *)
+
+open Cluster
+
+let test_create () =
+  let p = Profile.create ~now:10.0 ~capacity:128 in
+  Alcotest.(check int) "one segment" 1 (Profile.segment_count p);
+  Alcotest.(check int) "all free" 128 (Profile.free_at p 10.0);
+  Alcotest.(check (float 1e-9)) "start" 10.0 (Profile.start_time p);
+  Alcotest.(check bool) "invariant" true (Profile.invariant p)
+
+let test_of_running () =
+  (* capacity 10, jobs releasing 4 nodes at t=100 and 2 at t=50 *)
+  let p = Profile.of_running ~now:0.0 ~capacity:10 [ (100.0, 4); (50.0, 2) ] in
+  Alcotest.(check int) "free now" 4 (Profile.free_at p 0.0);
+  Alcotest.(check int) "free after first release" 6 (Profile.free_at p 50.0);
+  Alcotest.(check int) "free after both" 10 (Profile.free_at p 100.0);
+  Alcotest.(check bool) "invariant" true (Profile.invariant p)
+
+let test_of_running_merges_equal_times () =
+  let p = Profile.of_running ~now:0.0 ~capacity:10 [ (50.0, 2); (50.0, 3) ] in
+  Alcotest.(check int) "two segments" 2 (Profile.segment_count p);
+  Alcotest.(check int) "free after merge" 10 (Profile.free_at p 50.0)
+
+let test_of_running_past_release_ignored () =
+  let p = Profile.of_running ~now:100.0 ~capacity:8 [ (50.0, 4) ] in
+  Alcotest.(check int) "released already" 8 (Profile.free_at p 100.0)
+
+let test_of_running_oversubscribed () =
+  Alcotest.check_raises "oversubscription rejected"
+    (Invalid_argument "Profile.of_running: running jobs exceed capacity")
+    (fun () ->
+      ignore (Profile.of_running ~now:0.0 ~capacity:4 [ (10.0, 3); (10.0, 2) ]))
+
+let test_earliest_start_immediate () =
+  let p = Profile.of_running ~now:0.0 ~capacity:10 [ (100.0, 4) ] in
+  Alcotest.(check (float 1e-9)) "fits now" 0.0
+    (Profile.earliest_start p ~nodes:6 ~duration:1000.0)
+
+let test_earliest_start_waits_for_release () =
+  let p = Profile.of_running ~now:0.0 ~capacity:10 [ (100.0, 4) ] in
+  Alcotest.(check (float 1e-9)) "must wait" 100.0
+    (Profile.earliest_start p ~nodes:8 ~duration:1000.0)
+
+let test_earliest_start_hole_too_short () =
+  (* 6 nodes free until t=50 (then 4 until t=100): a 6-node 60s job
+     cannot use the [0,50) hole *)
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  Profile.reserve p ~at:50.0 ~nodes:6 ~duration:50.0;
+  Alcotest.(check (float 1e-9)) "skips short hole" 100.0
+    (Profile.earliest_start p ~nodes:6 ~duration:60.0);
+  Alcotest.(check (float 1e-9)) "short job uses hole" 0.0
+    (Profile.earliest_start p ~nodes:6 ~duration:50.0)
+
+let test_reserve_splits_segments () =
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  Profile.reserve p ~at:10.0 ~nodes:4 ~duration:20.0;
+  Alcotest.(check int) "free before" 10 (Profile.free_at p 5.0);
+  Alcotest.(check int) "free during" 6 (Profile.free_at p 15.0);
+  Alcotest.(check int) "free after" 10 (Profile.free_at p 30.0);
+  Alcotest.(check bool) "invariant" true (Profile.invariant p)
+
+let test_reserve_insufficient () =
+  let p = Profile.of_running ~now:0.0 ~capacity:10 [ (100.0, 6) ] in
+  Alcotest.check_raises "cannot oversubscribe"
+    (Invalid_argument "Profile.reserve: insufficient free nodes") (fun () ->
+      Profile.reserve p ~at:0.0 ~nodes:6 ~duration:10.0)
+
+let test_fits_at () =
+  let p = Profile.of_running ~now:0.0 ~capacity:10 [ (100.0, 4) ] in
+  Alcotest.(check bool) "fits" true
+    (Profile.fits_at p ~at:0.0 ~nodes:6 ~duration:1e6);
+  Alcotest.(check bool) "does not fit" false
+    (Profile.fits_at p ~at:0.0 ~nodes:7 ~duration:200.0);
+  Alcotest.(check bool) "fits if short enough window later" true
+    (Profile.fits_at p ~at:100.0 ~nodes:10 ~duration:50.0)
+
+let test_copy_independent () =
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  let q = Profile.copy p in
+  Profile.reserve p ~at:0.0 ~nodes:5 ~duration:100.0;
+  Alcotest.(check int) "copy untouched" 10 (Profile.free_at q 0.0);
+  Profile.copy_into ~src:p ~dst:q;
+  Alcotest.(check int) "copy_into restores" 5 (Profile.free_at q 0.0)
+
+let test_copy_into_capacity_mismatch () =
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  let q = Profile.create ~now:0.0 ~capacity:16 in
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Profile.copy_into: capacity mismatch") (fun () ->
+      Profile.copy_into ~src:p ~dst:q)
+
+(* --- properties --- *)
+
+(* Random placement plan: list of (nodes, duration). *)
+let plan_gen =
+  QCheck.Gen.(
+    list_size (1 -- 25)
+      (pair (1 -- 16) (map (fun d -> float_of_int (d + 1)) (0 -- 5000))))
+
+let plan_arbitrary = QCheck.make plan_gen
+
+let prop_invariant_under_reserves =
+  QCheck.Test.make ~name:"profile invariant under random placements"
+    ~count:300 plan_arbitrary (fun plan ->
+      let p = Profile.create ~now:0.0 ~capacity:16 in
+      List.iter
+        (fun (nodes, duration) ->
+          let s = Profile.earliest_start p ~nodes ~duration in
+          Profile.reserve p ~at:s ~nodes ~duration)
+        plan;
+      Profile.invariant p)
+
+let prop_earliest_start_is_feasible =
+  QCheck.Test.make ~name:"earliest_start fits at its own answer" ~count:300
+    plan_arbitrary (fun plan ->
+      let p = Profile.create ~now:0.0 ~capacity:16 in
+      List.for_all
+        (fun (nodes, duration) ->
+          let s = Profile.earliest_start p ~nodes ~duration in
+          let ok = Profile.fits_at p ~at:s ~nodes ~duration in
+          Profile.reserve p ~at:s ~nodes ~duration;
+          ok)
+        plan)
+
+let prop_earliest_start_is_minimal =
+  (* No segment boundary strictly before the reported start admits the
+     job: the start really is earliest among candidate times. *)
+  QCheck.Test.make ~name:"earliest_start minimal over boundaries" ~count:200
+    plan_arbitrary (fun plan ->
+      let p = Profile.create ~now:0.0 ~capacity:16 in
+      List.for_all
+        (fun (nodes, duration) ->
+          let s = Profile.earliest_start p ~nodes ~duration in
+          let earlier_fits =
+            List.exists
+              (fun (b, _) -> b < s && Profile.fits_at p ~at:b ~nodes ~duration)
+              (Profile.segments p)
+          in
+          Profile.reserve p ~at:s ~nodes ~duration;
+          not earlier_fits)
+        plan)
+
+let prop_free_never_negative =
+  QCheck.Test.make ~name:"free counts within [0, capacity]" ~count:300
+    plan_arbitrary (fun plan ->
+      let p = Profile.create ~now:0.0 ~capacity:16 in
+      List.iter
+        (fun (nodes, duration) ->
+          let s = Profile.earliest_start p ~nodes ~duration in
+          Profile.reserve p ~at:s ~nodes ~duration)
+        plan;
+      List.for_all (fun (_, free) -> free >= 0 && free <= 16)
+        (Profile.segments p))
+
+let suite =
+  [
+    Alcotest.test_case "create" `Quick test_create;
+    Alcotest.test_case "of_running" `Quick test_of_running;
+    Alcotest.test_case "of_running merges" `Quick
+      test_of_running_merges_equal_times;
+    Alcotest.test_case "past releases ignored" `Quick
+      test_of_running_past_release_ignored;
+    Alcotest.test_case "oversubscription rejected" `Quick
+      test_of_running_oversubscribed;
+    Alcotest.test_case "earliest_start immediate" `Quick
+      test_earliest_start_immediate;
+    Alcotest.test_case "earliest_start waits" `Quick
+      test_earliest_start_waits_for_release;
+    Alcotest.test_case "earliest_start skips short hole" `Quick
+      test_earliest_start_hole_too_short;
+    Alcotest.test_case "reserve splits" `Quick test_reserve_splits_segments;
+    Alcotest.test_case "reserve validates" `Quick test_reserve_insufficient;
+    Alcotest.test_case "fits_at" `Quick test_fits_at;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "copy_into mismatch" `Quick
+      test_copy_into_capacity_mismatch;
+    QCheck_alcotest.to_alcotest prop_invariant_under_reserves;
+    QCheck_alcotest.to_alcotest prop_earliest_start_is_feasible;
+    QCheck_alcotest.to_alcotest prop_earliest_start_is_minimal;
+    QCheck_alcotest.to_alcotest prop_free_never_negative;
+  ]

@@ -1,0 +1,199 @@
+(* Tests for the priority functions and backfill schedulers. *)
+
+open Sched
+
+let r_star (j : Workload.Job.t) = j.runtime
+
+let context ?(now = 0.0) ?(capacity = 16) ~waiting ~running () =
+  let machine = Cluster.Machine.v ~nodes:capacity in
+  let rs = Cluster.Running_set.create ~machine in
+  List.iter
+    (fun (id, nodes, start, runtime) ->
+      let job = Helpers.job ~id ~nodes ~runtime ~submit:(Float.max 0.0 start) () in
+      Cluster.Running_set.add rs
+        {
+          Cluster.Running_set.job;
+          start;
+          finish = start +. runtime;
+          est_finish = start +. runtime;
+        })
+    running;
+  { Policy.now; waiting; running = rs; r_star }
+
+(* --- Priority --- *)
+
+let test_fcfs_priority () =
+  let a = Helpers.job ~id:0 ~submit:10.0 () in
+  let b = Helpers.job ~id:1 ~submit:5.0 () in
+  Alcotest.(check bool) "earlier first" true
+    (Priority.fcfs.Priority.compare ~now:20.0 ~r_star b a < 0)
+
+let test_sjf_priority () =
+  let short = Helpers.job ~id:0 ~runtime:60.0 () in
+  let long = Helpers.job ~id:1 ~runtime:3600.0 () in
+  Alcotest.(check bool) "short first" true
+    (Priority.sjf.Priority.compare ~now:0.0 ~r_star short long < 0)
+
+let test_lxf_priority () =
+  (* same wait, shorter job has larger expansion factor *)
+  let short = Helpers.job ~id:0 ~submit:0.0 ~runtime:600.0 () in
+  let long = Helpers.job ~id:1 ~submit:0.0 ~runtime:36000.0 () in
+  Alcotest.(check bool) "larger xf first" true
+    (Priority.lxf.Priority.compare ~now:3600.0 ~r_star short long < 0)
+
+let test_expansion_factor () =
+  let j = Helpers.job ~submit:0.0 ~runtime:3600.0 () in
+  Alcotest.(check (float 1e-9)) "xf after one hour wait" 2.0
+    (Priority.expansion_factor ~now:3600.0 ~r_star j);
+  let tiny = Helpers.job ~submit:0.0 ~runtime:1.0 () in
+  (* the one-minute floor keeps very short jobs from exploding *)
+  Alcotest.(check (float 1e-9)) "floored xf" 61.0
+    (Priority.expansion_factor ~now:3600.0 ~r_star tiny)
+
+let test_lxf_w_prefers_waiters () =
+  let p = Priority.lxf_w ~weight_per_hour:100.0 in
+  let waited = Helpers.job ~id:0 ~submit:0.0 ~runtime:36000.0 () in
+  let fresh = Helpers.job ~id:1 ~submit:35000.0 ~runtime:600.0 () in
+  (* plain lxf prefers the fresh short job; a big wait weight flips it *)
+  Alcotest.(check bool) "lxf prefers fresh short job" true
+    (Priority.lxf.Priority.compare ~now:36000.0 ~r_star fresh waited < 0);
+  Alcotest.(check bool) "lxf&w prefers the long waiter" true
+    (p.Priority.compare ~now:36000.0 ~r_star waited fresh < 0)
+
+(* --- Backfill --- *)
+
+let test_backfill_starts_what_fits () =
+  let waiting =
+    [ Helpers.job ~id:0 ~nodes:8 (); Helpers.job ~id:1 ~submit:1.0 ~nodes:8 () ]
+  in
+  let ctx = context ~now:10.0 ~waiting ~running:[] () in
+  let plan = Backfill.plan ~reservations:1 ~priority:Priority.fcfs ctx in
+  Alcotest.(check (list int)) "both start" [ 0; 1 ]
+    (List.map (fun (j : Workload.Job.t) -> j.id) plan.Backfill.start_now)
+
+let test_backfill_reserves_blocked_head () =
+  (* 12 busy of 16 until t=100; head needs 8 -> reservation at 100 *)
+  let waiting = [ Helpers.job ~id:0 ~nodes:8 () ] in
+  let ctx =
+    context ~now:0.0 ~waiting ~running:[ (99, 12, -50.0, 150.0) ] ()
+  in
+  let plan = Backfill.plan ~reservations:1 ~priority:Priority.fcfs ctx in
+  Alcotest.(check int) "nothing starts" 0 (List.length plan.Backfill.start_now);
+  match plan.Backfill.reserved with
+  | [ (j, at) ] ->
+      Alcotest.(check int) "head reserved" 0 j.Workload.Job.id;
+      Alcotest.(check (float 1e-6)) "at release time" 100.0 at
+  | _ -> Alcotest.fail "expected exactly one reservation"
+
+let test_backfill_respects_reservation () =
+  (* Head job (8 nodes) reserved at t=100.  A 4-node backfill candidate
+     fits now only if it finishes by t=100 (4 free now). *)
+  let running = [ (99, 12, -50.0, 150.0) ] in
+  let head = Helpers.job ~id:0 ~nodes:8 () in
+  let short = Helpers.job ~id:1 ~submit:1.0 ~nodes:4 ~runtime:50.0 () in
+  let long = Helpers.job ~id:2 ~submit:2.0 ~nodes:4 ~runtime:500.0 () in
+  let ctx = context ~now:0.0 ~waiting:[ head; short; long ] ~running () in
+  let plan = Backfill.plan ~reservations:1 ~priority:Priority.fcfs ctx in
+  Alcotest.(check (list int)) "only the harmless job backfills" [ 1 ]
+    (List.map (fun (j : Workload.Job.t) -> j.id) plan.Backfill.start_now)
+
+let test_backfill_long_backfill_behind_reservation () =
+  (* The long 4-node job CAN backfill if the reservation leaves slack:
+     head needs 8, release at t=100 frees 12, so 4 nodes stay free
+     through the reservation. *)
+  let running = [ (99, 12, -50.0, 150.0) ] in
+  let head = Helpers.job ~id:0 ~nodes:8 () in
+  let long = Helpers.job ~id:2 ~submit:2.0 ~nodes:4 ~runtime:500.0 () in
+  let ctx = context ~now:0.0 ~waiting:[ head; long ] ~running () in
+  let plan = Backfill.plan ~reservations:1 ~priority:Priority.fcfs ctx in
+  Alcotest.(check (list int)) "long job backfills into slack" [ 2 ]
+    (List.map (fun (j : Workload.Job.t) -> j.id) plan.Backfill.start_now)
+
+let test_backfill_priority_order_matters () =
+  (* 8 free; two 8-node jobs; LXF should pick the one with larger xf *)
+  let old_long = Helpers.job ~id:0 ~submit:0.0 ~nodes:8 ~runtime:36000.0 () in
+  let new_short = Helpers.job ~id:1 ~submit:3500.0 ~nodes:8 ~runtime:60.0 () in
+  let ctx =
+    context ~now:3600.0 ~waiting:[ old_long; new_short ]
+      ~running:[ (99, 8, 0.0, 100000.0) ] ()
+  in
+  let fcfs_plan = Backfill.plan ~reservations:1 ~priority:Priority.fcfs ctx in
+  let lxf_plan = Backfill.plan ~reservations:1 ~priority:Priority.lxf ctx in
+  Alcotest.(check (list int)) "fcfs starts the older" [ 0 ]
+    (List.map (fun (j : Workload.Job.t) -> j.id) fcfs_plan.Backfill.start_now);
+  Alcotest.(check (list int)) "lxf starts the larger-xf job" [ 1 ]
+    (List.map (fun (j : Workload.Job.t) -> j.id) lxf_plan.Backfill.start_now)
+
+let test_policy_names () =
+  Alcotest.(check string) "fcfs name" "FCFS-backfill"
+    Backfill.fcfs.Policy.name;
+  Alcotest.(check string) "lxf name" "LXF-backfill" Backfill.lxf.Policy.name;
+  Alcotest.(check bool) "conservative name" true
+    (Helpers.contains (Conservative.policy ()).Policy.name "conservative")
+
+let test_run_now_policy () =
+  let waiting =
+    [ Helpers.job ~id:0 ~nodes:12 (); Helpers.job ~id:1 ~submit:1.0 ~nodes:8 ();
+      Helpers.job ~id:2 ~submit:2.0 ~nodes:4 () ]
+  in
+  let ctx = context ~now:10.0 ~waiting ~running:[] () in
+  let started = Policy.run_now.Policy.decide ctx in
+  Alcotest.(check (list int)) "greedy fill skips too-wide" [ 0; 2 ]
+    (List.map (fun (j : Workload.Job.t) -> j.id) started)
+
+(* Property: backfilled jobs never delay the highest-priority waiting
+   job beyond its reservation. *)
+let prop_backfill_preserves_reservation =
+  QCheck.Test.make ~name:"backfill never delays the reservation" ~count:200
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Simcore.Rng.create ~seed in
+      let capacity = 16 in
+      let running =
+        List.init 3 (fun i ->
+            (90 + i, 1 + Simcore.Rng.int rng 4, 0.0,
+             60.0 +. Simcore.Rng.float rng 1000.0))
+      in
+      let waiting =
+        List.init 8 (fun id ->
+            Helpers.job ~id ~submit:(Simcore.Rng.float rng 50.0)
+              ~nodes:(1 + Simcore.Rng.int rng capacity)
+              ~runtime:(60.0 +. Simcore.Rng.float rng 2000.0)
+              ())
+      in
+      let ctx = context ~now:60.0 ~capacity ~waiting ~running () in
+      let head =
+        List.hd (List.sort Workload.Job.compare_submit ctx.Policy.waiting)
+      in
+      let without_backfill =
+        (* reservation computed with no other waiting jobs *)
+        Backfill.plan ~reservations:1 ~priority:Priority.fcfs
+          { ctx with Policy.waiting = [ head ] }
+      in
+      let full = Backfill.plan ~reservations:1 ~priority:Priority.fcfs ctx in
+      match (without_backfill.Backfill.reserved, full.Backfill.reserved) with
+      | [ (_, t0) ], [ (_, t1) ] -> t1 <= t0 +. 1e-6
+      | [], _ -> true (* head started immediately: nothing to preserve *)
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "fcfs priority" `Quick test_fcfs_priority;
+    Alcotest.test_case "sjf priority" `Quick test_sjf_priority;
+    Alcotest.test_case "lxf priority" `Quick test_lxf_priority;
+    Alcotest.test_case "expansion factor" `Quick test_expansion_factor;
+    Alcotest.test_case "lxf&w weights waiters" `Quick test_lxf_w_prefers_waiters;
+    Alcotest.test_case "backfill starts what fits" `Quick
+      test_backfill_starts_what_fits;
+    Alcotest.test_case "backfill reserves blocked head" `Quick
+      test_backfill_reserves_blocked_head;
+    Alcotest.test_case "backfill respects reservation" `Quick
+      test_backfill_respects_reservation;
+    Alcotest.test_case "backfill uses reservation slack" `Quick
+      test_backfill_long_backfill_behind_reservation;
+    Alcotest.test_case "priority order matters" `Quick
+      test_backfill_priority_order_matters;
+    Alcotest.test_case "policy names" `Quick test_policy_names;
+    Alcotest.test_case "run-now policy" `Quick test_run_now_policy;
+    QCheck_alcotest.to_alcotest prop_backfill_preserves_reservation;
+  ]

@@ -1,0 +1,223 @@
+(* Tests for Simcore.Units, Rng, Dist, Stats and Event_queue. *)
+
+open Simcore
+
+let feq ?(eps = 1e-9) name expected actual =
+  Alcotest.(check (float eps)) name expected actual
+
+(* --- Units --- *)
+
+let test_units () =
+  feq "hour" 3600.0 Units.hour;
+  feq "minutes" 90.0 (Units.minutes 1.5);
+  feq "hours" 7200.0 (Units.hours 2.0);
+  feq "days" 86400.0 (Units.days 1.0);
+  feq "weeks" (7.0 *. 86400.0) (Units.weeks 1.0);
+  feq "to_hours" 2.0 (Units.to_hours 7200.0);
+  feq "to_minutes" 2.0 (Units.to_minutes 120.0);
+  feq "to_days" 0.5 (Units.to_days 43200.0)
+
+let test_pp_duration () =
+  let render v = Format.asprintf "%a" Units.pp_duration v in
+  Alcotest.(check string) "seconds" "45.0s" (render 45.0);
+  Alcotest.(check string) "minutes" "13.0m" (render (13.0 *. 60.0));
+  Alcotest.(check string) "hours" "2.50h" (render (2.5 *. 3600.0));
+  Alcotest.(check string) "days" "2.00d" (render (2.0 *. 86400.0))
+
+(* --- Rng --- *)
+
+let test_rng_determinism () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:3 in
+  let child = Rng.split parent in
+  Alcotest.(check bool) "child differs from parent" true
+    (Rng.bits64 child <> Rng.bits64 parent)
+
+let test_rng_copy () =
+  let a = Rng.create ~seed:9 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy same next" (Rng.bits64 a) (Rng.bits64 b)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"Rng.int in [0, n)" ~count:500
+    QCheck.(pair small_int (int_bound 1000))
+    (fun (seed, n) ->
+      let n = n + 1 in
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let prop_rng_unit_float =
+  QCheck.Test.make ~name:"Rng.unit_float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let v = Rng.unit_float rng in
+      v >= 0.0 && v < 1.0)
+
+let test_rng_int_invalid () =
+  let rng = Rng.create ~seed:0 in
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+(* --- Dist --- *)
+
+let test_dist_mean_exponential () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Dist.exponential rng ~mean:5.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean within 5%" true (Float.abs (mean -. 5.0) < 0.25)
+
+let test_dist_log_uniform_bounds () =
+  let rng = Rng.create ~seed:13 in
+  for _ = 1 to 1000 do
+    let v = Dist.log_uniform rng ~lo:10.0 ~hi:1000.0 in
+    Alcotest.(check bool) "in bounds" true (v >= 10.0 && v < 1000.0 +. 1e-9)
+  done
+
+let test_dist_categorical () =
+  let rng = Rng.create ~seed:17 in
+  let counts = Array.make 3 0 in
+  for _ = 1 to 9000 do
+    let i = Dist.categorical rng ~weights:[| 1.0; 2.0; 0.0 |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check int) "zero-weight category never drawn" 0 counts.(2);
+  Alcotest.(check bool) "ratio roughly 1:2" true
+    (float_of_int counts.(1) /. float_of_int counts.(0) > 1.6)
+
+let test_dist_categorical_invalid () =
+  let rng = Rng.create ~seed:0 in
+  Alcotest.check_raises "all zero"
+    (Invalid_argument "Dist.categorical: all weights zero") (fun () ->
+      ignore (Dist.categorical rng ~weights:[| 0.0; 0.0 |]));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dist.categorical: negative weight") (fun () ->
+      ignore (Dist.categorical rng ~weights:[| 1.0; -1.0 |]))
+
+let test_dist_bernoulli_extremes () =
+  let rng = Rng.create ~seed:19 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=0 never true" false (Dist.bernoulli rng ~p:0.0);
+    Alcotest.(check bool) "p=1 always true" true (Dist.bernoulli rng ~p:1.0)
+  done
+
+(* --- Stats --- *)
+
+let test_running_stats () =
+  let r = Stats.Running.create () in
+  List.iter (Stats.Running.add r) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats.Running.count r);
+  feq "mean" 2.5 (Stats.Running.mean r);
+  feq "sum" 10.0 (Stats.Running.sum r);
+  feq "min" 1.0 (Stats.Running.min r);
+  feq "max" 4.0 (Stats.Running.max r);
+  feq ~eps:1e-6 "stddev" (sqrt 1.25) (Stats.Running.stddev r)
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  feq "mean of empty" 0.0 (Stats.Running.mean r);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.Running.min: empty")
+    (fun () -> ignore (Stats.Running.min r))
+
+let test_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  feq "p0" 1.0 (Stats.percentile xs 0.0);
+  feq "p50" 3.0 (Stats.percentile xs 50.0);
+  feq "p100" 5.0 (Stats.percentile xs 100.0);
+  feq "p25 interpolates" 2.0 (Stats.percentile xs 25.0);
+  feq "p98 of 5" 4.92 (Stats.percentile xs 98.0)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  let _ = Stats.percentile xs 50.0 in
+  Alcotest.(check (array (float 0.0))) "unchanged" [| 3.0; 1.0; 2.0 |] xs
+
+let test_timeline () =
+  let t = Stats.Timeline.create ~start:0.0 in
+  Stats.Timeline.record t ~now:0.0 ~value:2.0;
+  Stats.Timeline.record t ~now:10.0 ~value:4.0;
+  (* 2.0 for 10s then 4.0 for 10s -> average 3.0 *)
+  feq "time-weighted avg" 3.0 (Stats.Timeline.average t ~upto:20.0);
+  feq "empty window" 0.0 (Stats.Timeline.average t ~upto:0.0)
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within min..max" ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 40) (float_bound_exclusive 1000.0))
+              (float_bound_inclusive 100.0))
+    (fun (xs, p) ->
+      let arr = Array.of_list xs in
+      let v = Stats.percentile arr p in
+      let lo = Array.fold_left Float.min Float.infinity arr in
+      let hi = Array.fold_left Float.max Float.neg_infinity arr in
+      v >= lo -. 1e-9 && v <= hi +. 1e-9)
+
+(* --- Event_queue --- *)
+
+let test_event_order () =
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~time:5.0 "c";
+  Event_queue.schedule q ~time:1.0 "a";
+  Event_queue.schedule q ~time:3.0 "b";
+  let popped = List.init 3 (fun _ -> Option.get (Event_queue.pop q)) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    (List.map snd popped);
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
+
+let test_event_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun s -> Event_queue.schedule q ~time:2.0 s) [ "x"; "y"; "z" ];
+  let popped = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "FIFO at equal time" [ "x"; "y"; "z" ] popped
+
+let test_event_next_time () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "empty" None (Event_queue.next_time q);
+  Event_queue.schedule q ~time:9.0 ();
+  Alcotest.(check (option (float 0.0))) "next" (Some 9.0)
+    (Event_queue.next_time q);
+  Alcotest.(check int) "length" 1 (Event_queue.length q)
+
+let suite =
+  [
+    Alcotest.test_case "units conversions" `Quick test_units;
+    Alcotest.test_case "pp_duration" `Quick test_pp_duration;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seed sensitivity" `Quick test_rng_seed_sensitivity;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    Alcotest.test_case "rng invalid bound" `Quick test_rng_int_invalid;
+    QCheck_alcotest.to_alcotest prop_rng_int_range;
+    QCheck_alcotest.to_alcotest prop_rng_unit_float;
+    Alcotest.test_case "exponential mean" `Quick test_dist_mean_exponential;
+    Alcotest.test_case "log-uniform bounds" `Quick test_dist_log_uniform_bounds;
+    Alcotest.test_case "categorical" `Quick test_dist_categorical;
+    Alcotest.test_case "categorical invalid" `Quick test_dist_categorical_invalid;
+    Alcotest.test_case "bernoulli extremes" `Quick test_dist_bernoulli_extremes;
+    Alcotest.test_case "running stats" `Quick test_running_stats;
+    Alcotest.test_case "running stats empty" `Quick test_running_empty;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile pure" `Quick test_percentile_does_not_mutate;
+    Alcotest.test_case "timeline average" `Quick test_timeline;
+    QCheck_alcotest.to_alcotest prop_percentile_bounds;
+    Alcotest.test_case "event queue order" `Quick test_event_order;
+    Alcotest.test_case "event queue FIFO ties" `Quick test_event_fifo_ties;
+    Alcotest.test_case "event queue next_time" `Quick test_event_next_time;
+  ]

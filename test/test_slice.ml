@@ -1,0 +1,110 @@
+(* Tests for trace slicing/merging, plus the all-months calibration
+   regression sweep. *)
+
+open Workload
+
+let sample () =
+  Trace.v
+    [
+      Helpers.job ~id:0 ~submit:10.0 ~nodes:1 ();
+      Helpers.job ~id:1 ~submit:20.0 ~nodes:2 ();
+      Helpers.job ~id:2 ~submit:30.0 ~nodes:16 ();
+      Helpers.job ~id:3 ~submit:40.0 ~nodes:64 ();
+    ]
+    ~measure_start:0.0 ~measure_end:100.0
+
+let ids t = Array.to_list (Trace.jobs t) |> List.map (fun (j : Job.t) -> j.id)
+
+let test_by_time () =
+  let s = Slice.by_time (sample ()) ~from_:15.0 ~upto:35.0 in
+  Alcotest.(check int) "two jobs" 2 (Trace.length s);
+  Alcotest.(check (list int)) "renumbered" [ 0; 1 ] (ids s);
+  Alcotest.(check (float 1e-9)) "times shifted" 5.0
+    (Trace.jobs s).(0).Job.submit;
+  Alcotest.(check (float 1e-9)) "window = slice" 20.0 (Trace.measure_end s)
+
+let test_filter_and_class () =
+  let narrow = Slice.by_size_class (sample ()) ~node_class:0 in
+  Alcotest.(check int) "one one-node job" 1 (Trace.length narrow);
+  let wide = Slice.by_size_class (sample ()) ~node_class:4 in
+  Alcotest.(check int) "one wide job" 1 (Trace.length wide);
+  Alcotest.(check int) "wide job is 64 nodes" 64
+    (Trace.jobs wide).(0).Job.nodes;
+  Alcotest.check_raises "invalid class"
+    (Invalid_argument "Slice.by_size_class: class must be in 0..4") (fun () ->
+      ignore (Slice.by_size_class (sample ()) ~node_class:7))
+
+let test_merge () =
+  let a = sample () in
+  let b =
+    Trace.v [ Helpers.job ~id:0 ~submit:25.0 ~nodes:4 () ] ~measure_start:0.0
+      ~measure_end:50.0
+  in
+  let m = Slice.merge a b in
+  Alcotest.(check int) "five jobs" 5 (Trace.length m);
+  Alcotest.(check (list int)) "dense ids in submit order" [ 0; 1; 2; 3; 4 ]
+    (ids m);
+  Alcotest.(check int) "interleaved by submit" 4 (Trace.jobs m).(2).Job.nodes;
+  Alcotest.(check (float 1e-9)) "window union" 100.0 (Trace.measure_end m)
+
+let test_head () =
+  let h = Slice.head (sample ()) ~n:2 in
+  Alcotest.(check int) "two" 2 (Trace.length h);
+  Alcotest.(check int) "first kept" 1 (Trace.jobs h).(0).Job.nodes
+
+let test_slices_simulate () =
+  (* sliced traces must remain valid engine inputs *)
+  let base = Helpers.mini_trace ~seed:77 ~n:40 () in
+  let slice = Slice.by_time base ~from_:100.0 ~upto:5000.0 in
+  let run =
+    Sim.Run.simulate
+      ~machine:(Cluster.Machine.v ~nodes:16)
+      ~r_star:Sim.Engine.Actual ~policy:Sched.Backfill.fcfs slice
+  in
+  Alcotest.(check int) "all sliced jobs ran" (Trace.length slice)
+    (List.length run.Sim.Run.measured)
+
+(* --- calibration regression across every month --- *)
+
+let test_all_months_calibrated () =
+  Array.iter
+    (fun profile ->
+      let config = { Generator.default_config with scale = 0.3; seed = 99 } in
+      let trace = Generator.month ~config profile in
+      let mix = Mix_report.of_trace ~capacity:Month_profile.capacity trace in
+      let label = profile.Month_profile.label in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s load %.2f ~ %.2f" label mix.Mix_report.load
+           profile.Month_profile.load)
+        true
+        (Float.abs (mix.Mix_report.load -. profile.Month_profile.load) < 0.03);
+      let norm arr =
+        let s = Array.fold_left ( +. ) 0.0 arr in
+        Array.map (fun v -> 100.0 *. v /. s) arr
+      in
+      let jobs_diff =
+        Mix_report.max_abs_diff mix.Mix_report.jobs8
+          (norm profile.Month_profile.jobs8)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s job mix off by %.1f pts" label jobs_diff)
+        true (jobs_diff < 6.0);
+      let short_diff =
+        Mix_report.max_abs_diff mix.Mix_report.short5
+          profile.Month_profile.short5
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s short shares off by %.1f pts" label short_diff)
+        true (short_diff < 6.0))
+    Month_profile.all
+
+let suite =
+  [
+    Alcotest.test_case "by_time" `Quick test_by_time;
+    Alcotest.test_case "filter / size class" `Quick test_filter_and_class;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "head" `Quick test_head;
+    Alcotest.test_case "slices simulate" `Quick test_slices_simulate;
+    Alcotest.test_case "all months calibrated" `Slow
+      test_all_months_calibrated;
+  ]

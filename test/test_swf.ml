@@ -1,0 +1,137 @@
+(* Tests for the SWF trace reader/writer. *)
+
+open Workload
+
+let sample =
+  String.concat "\n"
+    [
+      "; Computer: test cluster";
+      "; MaxNodes: 128";
+      "1 0 10 3600 4 -1 -1 4 7200 -1 1 -1 -1 -1 -1 -1 -1 -1";
+      "2 100 0 1800 8 -1 -1 -1 -1 -1 1 -1 -1 -1 -1 -1 -1 -1";
+      "";
+      "3 200 5 60 1 -1 -1 2 120 -1 1 -1 -1 -1 -1 -1 -1 -1";
+    ]
+
+let parse s =
+  match Swf.of_string s with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("parse error: " ^ e)
+
+let test_parse_basic () =
+  let r = parse sample in
+  Alcotest.(check int) "three jobs" 3 (Trace.length r.Swf.trace);
+  Alcotest.(check int) "no skips" 0 r.Swf.skipped;
+  Alcotest.(check int) "two comments" 2 (List.length r.Swf.comments);
+  let jobs = Trace.jobs r.Swf.trace in
+  Alcotest.(check int) "job 0 nodes from requested procs" 4 jobs.(0).Job.nodes;
+  Alcotest.(check (float 1e-9)) "job 0 requested time" 7200.0
+    jobs.(0).Job.requested;
+  (* job 1 has requested procs = -1: falls back to allocated procs *)
+  Alcotest.(check int) "job 1 nodes fallback" 8 jobs.(1).Job.nodes;
+  (* job 1 requested time = -1: falls back to runtime *)
+  Alcotest.(check (float 1e-9)) "job 1 requested fallback" 1800.0
+    jobs.(1).Job.requested
+
+let test_parse_skips_unusable () =
+  let bad = "5 0 0 -1 4 -1 -1 4 100 -1 0 -1 -1 -1 -1 -1 -1 -1" in
+  let r = parse bad in
+  Alcotest.(check int) "unusable skipped" 1 r.Swf.skipped;
+  Alcotest.(check int) "no jobs" 0 (Trace.length r.Swf.trace)
+
+let test_parse_malformed () =
+  match Swf.of_string "1 2 3" with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error msg ->
+      Alcotest.(check bool) "mentions line" true
+        (Helpers.contains msg "line 1")
+
+let test_requested_clamped_to_runtime () =
+  (* requested time below actual runtime must be raised to runtime *)
+  let line = "1 0 0 3600 2 -1 -1 2 60 -1 1 -1 -1 -1 -1 -1 -1 -1" in
+  let r = parse line in
+  let j = (Trace.jobs r.Swf.trace).(0) in
+  Alcotest.(check (float 1e-9)) "requested >= runtime" 3600.0 j.Job.requested
+
+let test_roundtrip_file () =
+  let jobs =
+    [
+      Job.v ~id:0 ~submit:0.0 ~nodes:4 ~runtime:3600.0 ~requested:7200.0;
+      Job.v ~id:1 ~submit:500.0 ~nodes:128 ~runtime:60.0 ~requested:60.0;
+    ]
+  in
+  let t = Trace.v jobs in
+  let path = Filename.temp_file "swf_test" ".swf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Swf.to_file ~comments:[ "; roundtrip" ] path t;
+      match Swf.of_file path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check int) "job count" 2 (Trace.length r.Swf.trace);
+          Array.iteri
+            (fun i (j : Job.t) ->
+              let original = (Trace.jobs t).(i) in
+              Alcotest.(check int) "nodes" original.Job.nodes j.Job.nodes;
+              Alcotest.(check (float 0.51)) "submit" original.Job.submit
+                j.Job.submit;
+              Alcotest.(check (float 0.51)) "runtime" original.Job.runtime
+                j.Job.runtime;
+              Alcotest.(check (float 0.51)) "requested" original.Job.requested
+                j.Job.requested)
+            (Trace.jobs r.Swf.trace))
+
+let test_generated_trace_roundtrip () =
+  (* write a generated month as SWF and reparse: same job mix *)
+  let profile = Month_profile.find "10/03" in
+  let config = { Generator.default_config with scale = 0.05 } in
+  let t = Generator.month ~config profile in
+  let path = Filename.temp_file "swf_gen" ".swf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Swf.to_file path t;
+      match Swf.of_file path with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+          Alcotest.(check int) "job count preserved" (Trace.length t)
+            (Trace.length r.Swf.trace);
+          Alcotest.(check (float 0.01)) "demand preserved (to rounding)"
+            1.0
+            (Trace.total_demand r.Swf.trace /. Trace.total_demand t))
+
+let test_fixture_file () =
+  match Swf.of_file "fixtures/sample.swf" with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check int) "five jobs" 5 (Trace.length r.Swf.trace);
+      Alcotest.(check int) "three header comments" 3
+        (List.length r.Swf.comments);
+      let jobs = Trace.jobs r.Swf.trace in
+      Alcotest.(check int) "user from field 12" 11 jobs.(0).Job.user;
+      Alcotest.(check int) "missing user -> 0" 0 jobs.(4).Job.user;
+      Alcotest.(check int) "widest job" 128 jobs.(3).Job.nodes;
+      (* requested below runtime is clamped up *)
+      Alcotest.(check (float 1e-9)) "requested >= runtime" 86400.0
+        jobs.(3).Job.requested;
+      (* the fixture must simulate cleanly end to end *)
+      let run =
+        Sim.Run.simulate ~r_star:Sim.Engine.Requested
+          ~policy:Sched.Backfill.lxf r.Swf.trace
+      in
+      Alcotest.(check int) "all jobs complete" 5
+        run.Sim.Run.aggregate.Metrics.Aggregate.n_jobs
+
+let suite =
+  [
+    Alcotest.test_case "parse basic" `Quick test_parse_basic;
+    Alcotest.test_case "fixture file" `Quick test_fixture_file;
+    Alcotest.test_case "skip unusable" `Quick test_parse_skips_unusable;
+    Alcotest.test_case "malformed line" `Quick test_parse_malformed;
+    Alcotest.test_case "requested clamped" `Quick
+      test_requested_clamped_to_runtime;
+    Alcotest.test_case "file roundtrip" `Quick test_roundtrip_file;
+    Alcotest.test_case "generated trace roundtrip" `Quick
+      test_generated_trace_roundtrip;
+  ]

@@ -1,0 +1,242 @@
+(* Tests for Workload: Job, Trace, Estimate, Month_profile, Mix_report. *)
+
+open Workload
+
+let job ?(id = 0) ?(submit = 0.0) ?(nodes = 1) ?(runtime = 3600.0)
+    ?requested () =
+  Job.v ~id ~submit ~nodes ~runtime
+    ~requested:(Option.value requested ~default:runtime)
+
+(* --- Job --- *)
+
+let test_job_validation () =
+  Alcotest.check_raises "nodes >= 1" (Invalid_argument "Job.v: nodes must be >= 1")
+    (fun () -> ignore (job ~nodes:0 ()));
+  Alcotest.check_raises "runtime > 0"
+    (Invalid_argument "Job.v: runtime must be positive") (fun () ->
+      ignore (job ~runtime:0.0 ()));
+  Alcotest.check_raises "requested >= runtime"
+    (Invalid_argument "Job.v: requested < runtime") (fun () ->
+      ignore (job ~runtime:100.0 ~requested:50.0 ()))
+
+let test_job_area () =
+  Alcotest.(check (float 1e-9)) "area" 7200.0
+    (Job.area (job ~nodes:2 ~runtime:3600.0 ()))
+
+let test_size_range8 () =
+  let cases = [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (8, 3); (9, 4);
+                (16, 4); (17, 5); (32, 5); (33, 6); (64, 6); (65, 7); (128, 7) ]
+  in
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check int) (Printf.sprintf "range of %d" n) expected
+        (Job.size_range8 n))
+    cases
+
+let test_node_class5 () =
+  let cases = [ (1, 0); (2, 1); (3, 2); (8, 2); (9, 3); (32, 3); (33, 4);
+                (128, 4) ]
+  in
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check int) (Printf.sprintf "class of %d" n) expected
+        (Job.node_class5 n))
+    cases
+
+let test_runtime_class5 () =
+  let open Simcore.Units in
+  let cases =
+    [ (minutes 5.0, 0); (minutes 10.0, 0); (minutes 30.0, 1); (hour, 1);
+      (hours 2.0, 2); (hours 4.0, 2); (hours 6.0, 3); (hours 8.0, 3);
+      (hours 9.0, 4) ]
+  in
+  List.iter
+    (fun (t, expected) ->
+      Alcotest.(check int) (Printf.sprintf "class of %gs" t) expected
+        (Job.runtime_class5 t))
+    cases
+
+let test_compare_submit () =
+  let a = job ~id:0 ~submit:5.0 () in
+  let b = job ~id:1 ~submit:3.0 () in
+  let c = job ~id:2 ~submit:5.0 () in
+  Alcotest.(check bool) "later submit sorts after" true
+    (Job.compare_submit a b > 0);
+  Alcotest.(check bool) "tie broken by id" true (Job.compare_submit a c < 0)
+
+(* --- Trace --- *)
+
+let test_trace_sorts_and_windows () =
+  let jobs = [ job ~id:0 ~submit:10.0 (); job ~id:1 ~submit:5.0 () ] in
+  let t = Trace.v jobs in
+  let sorted = Trace.jobs t in
+  Alcotest.(check int) "sorted by submit" 1 sorted.(0).Job.id;
+  Alcotest.(check int) "length" 2 (Trace.length t)
+
+let test_trace_duplicate_ids () =
+  Alcotest.check_raises "duplicate ids"
+    (Invalid_argument "Trace.v: duplicate job id 0") (fun () ->
+      ignore (Trace.v [ job ~id:0 (); job ~id:0 ~submit:1.0 () ]))
+
+let test_trace_measured_window () =
+  let jobs =
+    [ job ~id:0 ~submit:1.0 (); job ~id:1 ~submit:5.0 ();
+      job ~id:2 ~submit:9.0 () ]
+  in
+  let t = Trace.v jobs ~measure_start:4.0 ~measure_end:9.0 in
+  Alcotest.(check (list int)) "only in-window jobs" [ 1 ]
+    (List.map (fun (j : Job.t) -> j.id) (Trace.measured t))
+
+let test_trace_offered_load () =
+  (* one 4-node 100s job in a 100s window on a 4-node machine = load 1 *)
+  let t =
+    Trace.v [ job ~nodes:4 ~runtime:100.0 () ] ~measure_start:0.0
+      ~measure_end:100.0
+  in
+  Alcotest.(check (float 1e-9)) "load" 1.0 (Trace.offered_load t ~capacity:4)
+
+let test_trace_scale_load () =
+  let jobs =
+    List.init 10 (fun i -> job ~id:i ~submit:(float_of_int i *. 10.0) ())
+  in
+  let t = Trace.v jobs ~measure_start:0.0 ~measure_end:100.0 in
+  let load0 = Trace.offered_load t ~capacity:16 in
+  let scaled = Trace.scale_load t ~capacity:16 ~target:(2.0 *. load0) in
+  Alcotest.(check (float 1e-6)) "load doubled" (2.0 *. load0)
+    (Trace.offered_load scaled ~capacity:16);
+  Alcotest.(check int) "same jobs" 10 (Trace.length scaled);
+  let j = (Trace.jobs scaled).(3) in
+  Alcotest.(check (float 1e-9)) "runtimes unchanged" 3600.0 j.Job.runtime
+
+let test_trace_map_jobs () =
+  let t = Trace.v [ job ~id:0 (); job ~id:1 ~submit:2.0 () ] in
+  let t' = Trace.map_jobs t (fun j -> { j with Job.nodes = 7 }) in
+  Array.iter
+    (fun (j : Job.t) -> Alcotest.(check int) "mapped" 7 j.nodes)
+    (Trace.jobs t')
+
+(* --- Estimate --- *)
+
+let test_estimate_round_up () =
+  let limit = Simcore.Units.hours 12.0 in
+  Alcotest.(check (float 1e-9)) "rounds to 1h" Simcore.Units.hour
+    (Estimate.round_up ~limit 3599.0);
+  Alcotest.(check (float 1e-9)) "caps at limit" limit
+    (Estimate.round_up ~limit (Simcore.Units.hours 50.0))
+
+let test_estimate_draw_bounds () =
+  let rng = Simcore.Rng.create ~seed:5 in
+  let limit = Simcore.Units.hours 12.0 in
+  for _ = 1 to 2000 do
+    let runtime = Simcore.Dist.log_uniform rng ~lo:60.0 ~hi:limit in
+    let r = Estimate.draw rng ~limit ~runtime in
+    Alcotest.(check bool) "R >= T" true (r >= runtime -. 1e-9);
+    Alcotest.(check bool) "R <= limit (unless T near limit)" true
+      (r <= Float.max limit runtime +. 1e-9)
+  done
+
+let test_estimate_attach_deterministic () =
+  let t = Trace.v [ job ~id:0 (); job ~id:1 ~submit:1.0 ~runtime:7200.0 () ] in
+  let limit = Simcore.Units.hours 12.0 in
+  let a = Estimate.attach ~seed:3 ~limit t in
+  let b = Estimate.attach ~seed:3 ~limit t in
+  Array.iteri
+    (fun i (j : Job.t) ->
+      Alcotest.(check (float 1e-9)) "deterministic" j.requested
+        (Trace.jobs b).(i).Job.requested)
+    (Trace.jobs a)
+
+(* --- Month_profile --- *)
+
+let test_month_profiles_complete () =
+  Alcotest.(check int) "ten months" 10 (Array.length Month_profile.all);
+  Array.iter
+    (fun m ->
+      Alcotest.(check int) "8 ranges" 8 (Array.length m.Month_profile.jobs8);
+      Alcotest.(check int) "8 demands" 8 (Array.length m.Month_profile.demand8);
+      Alcotest.(check int) "5 short" 5 (Array.length m.Month_profile.short5);
+      Alcotest.(check int) "5 long" 5 (Array.length m.Month_profile.long5);
+      let sum = Array.fold_left ( +. ) 0.0 m.Month_profile.jobs8 in
+      Alcotest.(check bool)
+        (m.Month_profile.label ^ " job percentages sum to ~100")
+        true
+        (sum > 95.0 && sum < 105.0))
+    Month_profile.all
+
+let test_month_find () =
+  let m = Month_profile.find "7/03" in
+  Alcotest.(check int) "n_jobs" 1399 m.Month_profile.n_jobs;
+  Alcotest.(check (float 1e-9)) "load" 0.89 m.Month_profile.load;
+  Alcotest.check_raises "unknown month" Not_found (fun () ->
+      ignore (Month_profile.find "13/99"))
+
+let test_runtime_limit_change () =
+  (* Table 2: limit raised from 12h to 24h in December 2003 *)
+  let h12 = Simcore.Units.hours 12.0 and h24 = Simcore.Units.hours 24.0 in
+  Alcotest.(check (float 1.0)) "11/03 limit" h12
+    (Month_profile.find "11/03").Month_profile.runtime_limit;
+  Alcotest.(check (float 1.0)) "12/03 limit" h24
+    (Month_profile.find "12/03").Month_profile.runtime_limit
+
+let test_conditionals_valid () =
+  Array.iter
+    (fun m ->
+      for c = 0 to 4 do
+        let s = Month_profile.short_given_class m c in
+        let l = Month_profile.long_given_class m c in
+        Alcotest.(check bool) "p_short in [0,1]" true (s >= 0.0 && s <= 1.0);
+        Alcotest.(check bool) "p_long in [0,1]" true (l >= 0.0 && l <= 1.0);
+        Alcotest.(check bool) "p_short + p_long <= 1" true (s +. l <= 1.0 +. 1e-9)
+      done)
+    Month_profile.all
+
+(* --- Mix_report --- *)
+
+let test_mix_report_basic () =
+  let jobs =
+    [ job ~id:0 ~nodes:1 ~runtime:1800.0 ();
+      job ~id:1 ~submit:1.0 ~nodes:64 ~runtime:(Simcore.Units.hours 6.0) () ]
+  in
+  let t = Trace.v jobs ~measure_start:0.0 ~measure_end:100.0 in
+  let mix = Mix_report.of_trace ~capacity:128 t in
+  Alcotest.(check int) "n_jobs" 2 mix.Mix_report.n_jobs;
+  Alcotest.(check (float 1e-6)) "jobs8 range 0" 50.0 mix.Mix_report.jobs8.(0);
+  Alcotest.(check (float 1e-6)) "jobs8 range 6" 50.0 mix.Mix_report.jobs8.(6);
+  Alcotest.(check (float 1e-6)) "short5 class 0" 50.0 mix.Mix_report.short5.(0);
+  Alcotest.(check (float 1e-6)) "long5 class 4" 50.0 mix.Mix_report.long5.(4)
+
+let test_max_abs_diff () =
+  Alcotest.(check (float 1e-9)) "diff" 3.0
+    (Mix_report.max_abs_diff [| 1.0; 5.0 |] [| 2.0; 2.0 |]);
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Mix_report.max_abs_diff: length mismatch") (fun () ->
+      ignore (Mix_report.max_abs_diff [| 1.0 |] [| 1.0; 2.0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "job validation" `Quick test_job_validation;
+    Alcotest.test_case "job area" `Quick test_job_area;
+    Alcotest.test_case "size_range8" `Quick test_size_range8;
+    Alcotest.test_case "node_class5" `Quick test_node_class5;
+    Alcotest.test_case "runtime_class5" `Quick test_runtime_class5;
+    Alcotest.test_case "compare_submit" `Quick test_compare_submit;
+    Alcotest.test_case "trace sorts/windows" `Quick test_trace_sorts_and_windows;
+    Alcotest.test_case "trace duplicate ids" `Quick test_trace_duplicate_ids;
+    Alcotest.test_case "trace measured window" `Quick test_trace_measured_window;
+    Alcotest.test_case "trace offered load" `Quick test_trace_offered_load;
+    Alcotest.test_case "trace scale_load" `Quick test_trace_scale_load;
+    Alcotest.test_case "trace map_jobs" `Quick test_trace_map_jobs;
+    Alcotest.test_case "estimate round_up" `Quick test_estimate_round_up;
+    Alcotest.test_case "estimate draw bounds" `Quick test_estimate_draw_bounds;
+    Alcotest.test_case "estimate deterministic" `Quick
+      test_estimate_attach_deterministic;
+    Alcotest.test_case "month profiles complete" `Quick
+      test_month_profiles_complete;
+    Alcotest.test_case "month find" `Quick test_month_find;
+    Alcotest.test_case "runtime limit change 12/03" `Quick
+      test_runtime_limit_change;
+    Alcotest.test_case "bucket conditionals valid" `Quick
+      test_conditionals_valid;
+    Alcotest.test_case "mix report basic" `Quick test_mix_report_basic;
+    Alcotest.test_case "mix max_abs_diff" `Quick test_max_abs_diff;
+  ]
