@@ -9,7 +9,18 @@
      REPRO_SEED    generator seed (default 42)
      REPRO_MAXL    cap on the Figure 6 budget sweep
      REPRO_ONLY    comma-separated experiment ids to run
-     REPRO_SKIP_MICRO=1  skip the bechamel microbenchmarks *)
+     REPRO_SKIP_MICRO=1  skip the bechamel microbenchmarks
+
+   Perf regression modes (instead of the tables):
+
+     --perf-json [path]   measure search throughput (nodes/ms, trail
+                          and snapshot backtracking) over a grid of
+                          node budgets and queue depths, plus
+                          bechamel micro-op costs, and write them as
+                          JSON (default BENCH_search_hotpath.json)
+     --perf-smoke [path]  re-measure the L=8000 / 30-job point and
+                          fail (exit 1) if it regressed more than 30%
+                          below the committed baseline JSON *)
 
 open Bechamel
 open Toolkit
@@ -98,9 +109,183 @@ let microbench fmt =
         results)
     tests
 
+(* ------------------------------------------------------------------ *)
+(* Perf regression layer: BENCH_search_hotpath.json                    *)
+
+let ols =
+  Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+
+(* Nanoseconds per run of [test], by OLS over bechamel samples. *)
+let ols_ns test =
+  let cfg =
+    Benchmark.cfg ~limit:300 ~stabilize:true ~quota:(Time.second 0.5) ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let v = ref nan in
+  Hashtbl.iter
+    (fun _ r ->
+      match Analyze.OLS.estimates r with Some (t :: _) -> v := t | _ -> ())
+    results;
+  !v
+
+(* A ~90-segment profile, the shape the search sees mid-descent. *)
+let micro_profile () =
+  let p = Cluster.Profile.create ~now:0.0 ~capacity:128 in
+  for i = 0 to 43 do
+    let at = float_of_int (i * 600) in
+    Cluster.Profile.reserve p ~at ~nodes:((i mod 3) + 1) ~duration:300.0
+  done;
+  p
+
+let micro_place_undo =
+  let p = micro_profile () in
+  Test.make ~name:"place_earliest+undo"
+    (Staged.stage (fun () ->
+         let m = Cluster.Profile.mark p in
+         ignore (Cluster.Profile.place_earliest p ~nodes:5 ~duration:7200.0);
+         Cluster.Profile.undo_to p m))
+
+let micro_reserve_undo =
+  let p = micro_profile () in
+  Test.make ~name:"reserve+undo"
+    (Staged.stage (fun () ->
+         let m = Cluster.Profile.mark p in
+         Cluster.Profile.reserve p ~at:13000.0 ~nodes:5 ~duration:7200.0;
+         Cluster.Profile.undo_to p m))
+
+let micro_copy_into =
+  let p = micro_profile () in
+  let q = Cluster.Profile.copy p in
+  Test.make ~name:"copy_into"
+    (Staged.stage (fun () -> Cluster.Profile.copy_into ~src:p ~dst:q))
+
+let perf_budgets = [ 1000; 8000; 100000 ]
+let perf_queue_depths = [ 10; 30; 60 ]
+
+let grid_key ~prefix ~budget ~n = Printf.sprintf "%s_l%d_n%d" prefix budget n
+
+let smoke_key = grid_key ~prefix:"trail" ~budget:8000 ~n:30
+
+let measure_grid ~backtrack ~prefix ~repeats out =
+  List.iter
+    (fun budget ->
+      List.iter
+        (fun n ->
+          let v =
+            Experiments.Overhead.nodes_per_ms ~n_waiting:n ~backtrack ~repeats
+              ~budget ()
+          in
+          out (grid_key ~prefix ~budget ~n) v)
+        perf_queue_depths)
+    perf_budgets
+
+let perf_json path =
+  (* warm up code paths and the branch predictor before measuring *)
+  ignore (Experiments.Overhead.nodes_per_ms ~repeats:5 ~budget:8000 ());
+  let entries = ref [] in
+  let out key v = entries := (key, v) :: !entries in
+  measure_grid ~backtrack:Core.Search_state.Trail ~prefix:"trail" ~repeats:20
+    out;
+  (* the snapshot oracle only at the headline point: it exists for
+     equivalence testing, not speed *)
+  out
+    (grid_key ~prefix:"snapshot" ~budget:8000 ~n:30)
+    (Experiments.Overhead.nodes_per_ms ~backtrack:Core.Search_state.Snapshot
+       ~repeats:20 ~budget:8000 ());
+  let micro =
+    [ ("micro_place_earliest_undo_ns", ols_ns micro_place_undo);
+      ("micro_reserve_undo_ns", ols_ns micro_reserve_undo);
+      ("micro_copy_into_ns", ols_ns micro_copy_into) ]
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"schema\": \"search_hotpath/1\",\n";
+  Printf.fprintf oc "  \"unit\": \"nodes_per_ms (grid), ns (micro)\",\n";
+  Printf.fprintf oc "  \"bench\": \"DDS/lxf on the synthetic 128-node decision point\",\n";
+  List.iter
+    (fun (k, v) -> Printf.fprintf oc "  \"%s\": %.1f,\n" k v)
+    (List.rev !entries);
+  let rec emit = function
+    | [] -> ()
+    | [ (k, v) ] -> Printf.fprintf oc "  \"%s\": %.1f\n" k v
+    | (k, v) :: rest ->
+        Printf.fprintf oc "  \"%s\": %.1f,\n" k v;
+        emit rest
+  in
+  emit micro;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote %s (%s = %.0f nodes/ms)\n" path smoke_key
+    (List.assoc smoke_key !entries)
+
+(* Minimal scan for ["key": <number>] in the baseline file — the
+   harness has no JSON dependency and the file is ours. *)
+let baseline_value path key =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "perf-smoke: cannot read baseline: %s\n" msg;
+      exit 2
+  in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let pat = Printf.sprintf "\"%s\":" key in
+  let n = String.length s and m = String.length pat in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some (i + m)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some i ->
+      let is_num c =
+        (c >= '0' && c <= '9')
+        || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+      in
+      let start = ref i in
+      while !start < n && s.[!start] = ' ' do incr start done;
+      let stop = ref !start in
+      while !stop < n && is_num s.[!stop] do incr stop done;
+      if !stop = !start then None
+      else float_of_string_opt (String.sub s !start (!stop - !start))
+
+let perf_smoke path =
+  match baseline_value path smoke_key with
+  | None ->
+      Printf.eprintf "perf-smoke: no %s in %s\n" smoke_key path;
+      exit 2
+  | Some baseline ->
+      ignore (Experiments.Overhead.nodes_per_ms ~repeats:5 ~budget:8000 ());
+      let current =
+        Experiments.Overhead.nodes_per_ms ~repeats:10 ~budget:8000 ()
+      in
+      let floor = 0.7 *. baseline in
+      Printf.printf "perf-smoke: %s = %.0f nodes/ms (baseline %.0f, floor %.0f)\n"
+        smoke_key current baseline floor;
+      if current < floor then begin
+        Printf.eprintf
+          "perf-smoke: FAIL — search hot path regressed more than 30%%\n";
+        exit 1
+      end
+      else Printf.printf "perf-smoke: OK\n"
+
 let () =
   let fmt = Format.std_formatter in
-  let t0 = Unix.gettimeofday () in
-  run_experiments fmt;
-  if Sys.getenv_opt "REPRO_SKIP_MICRO" = None then microbench fmt;
-  Format.fprintf fmt "@.total bench time: %.1fs@." (Unix.gettimeofday () -. t0)
+  match Sys.argv with
+  | [| _ |] ->
+      let t0 = Unix.gettimeofday () in
+      run_experiments fmt;
+      if Sys.getenv_opt "REPRO_SKIP_MICRO" = None then microbench fmt;
+      Format.fprintf fmt "@.total bench time: %.1fs@."
+        (Unix.gettimeofday () -. t0)
+  | [| _; "--perf-json" |] -> perf_json "BENCH_search_hotpath.json"
+  | [| _; "--perf-json"; path |] -> perf_json path
+  | [| _; "--perf-smoke" |] -> perf_smoke "BENCH_search_hotpath.json"
+  | [| _; "--perf-smoke"; path |] -> perf_smoke path
+  | _ ->
+      prerr_endline
+        "usage: main.exe [--perf-json [path] | --perf-smoke [path]]";
+      exit 2

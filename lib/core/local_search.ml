@@ -2,8 +2,8 @@
 let evaluate state order starts =
   let n = Array.length order in
   for depth = 0 to n - 1 do
-    let s = Search_state.place state ~depth ~job:order.(depth) in
-    starts.(depth) <- s
+    Search_state.place state ~depth ~job:order.(depth);
+    starts.(depth) <- Search_state.start_at state ~depth
   done;
   let obj = Search_state.leaf_objective state in
   for depth = n - 1 downto 0 do

@@ -24,6 +24,7 @@ type driver = {
   budget : int;
   prune : bool;
   mutable enforce_budget : bool;
+  mutable forced : int;  (* DDS: choice-depth of the forced discrepancy *)
   mutable best : Objective.t option;
   mutable best_order : int array;
   mutable best_starts : float array;
@@ -71,98 +72,131 @@ let hopeless d ~depth =
            *. Objective.min_contribution (Search_state.secondary d.state))
         >= best.Objective.secondary_sum -. 1e-9
 
-(* Visit the child of rank [rank] at [depth]; run [k] on the resulting
-   node; backtrack.  Returns false when no such child exists. *)
-let descend d ~depth ~rank k =
-  match Search_state.nth_unused d.state rank with
-  | None -> false
-  | Some job ->
-      check_budget d;
-      let (_ : float) = Search_state.place d.state ~depth ~job in
-      if depth = d.n - 1 then begin
-        if not (hopeless d ~depth) then record_leaf d
-      end
-      else if not (hopeless d ~depth) then k ();
-      Search_state.unplace d.state ~depth;
-      true
+(* Leaf visit: evaluate unless the bound prunes it.  Off the hot path
+   (one leaf per [n] interior nodes). *)
+let at_leaf d ~depth = if not (hopeless d ~depth) then record_leaf d
+
+(* Each algorithm below inlines the same visit body — budget check,
+   place, recurse-or-evaluate, unplace — instead of sharing it through
+   a continuation parameter: a function-valued argument costs an
+   indirect [caml_apply] per node, and these recursions are the
+   innermost loop of the whole reproduction.  Children of a node are
+   exactly the unused jobs, walked in increasing index order via
+   {!Search_state.first_unused} / {!Search_state.next_unused}; the
+   walk is stable across a visit because unplace restores the links it
+   removed.  Nothing here allocates per node. *)
 
 (* The pure heuristic path: rank 0 at every depth. *)
-let heuristic_path d =
-  let rec go depth =
-    let (_ : bool) = descend d ~depth ~rank:0 (fun () -> go (depth + 1)) in
-    ()
-  in
-  go 0
+let rec heur_go d depth =
+  let job = Search_state.first_unused d.state in
+  if job < d.n then begin
+    check_budget d;
+    Search_state.place d.state ~depth ~job;
+    if depth = d.n - 1 then at_leaf d ~depth
+    else if not (hopeless d ~depth) then heur_go d (depth + 1);
+    Search_state.unplace d.state ~depth
+  end
+
+let heuristic_path d = heur_go d 0
 
 (* Original LDS iteration k (Harvey & Ginsberg): all paths with at
    most [k] discrepancies, left to right — earlier iterations' paths
    are re-visited, spending budget on repeats. *)
-let lds_original_iteration d k =
-  let rec go depth remaining =
-    let children = d.n - depth in
-    for rank = 0 to children - 1 do
-      let cost = if rank = 0 then 0 else 1 in
-      if cost <= remaining then
-        let (_ : bool) =
-          descend d ~depth ~rank (fun () -> go (depth + 1) (remaining - cost))
-        in
-        ()
-    done
-  in
-  go 0 (min k (d.n - 1))
+let rec lds0_go d depth remaining =
+  lds0_each d depth remaining (Search_state.first_unused d.state) 0
+
+and lds0_each d depth remaining job rank =
+  if job < d.n then begin
+    let cost = if rank = 0 then 0 else 1 in
+    if cost <= remaining then begin
+      check_budget d;
+      Search_state.place d.state ~depth ~job;
+      if depth = d.n - 1 then at_leaf d ~depth
+      else if not (hopeless d ~depth) then
+        lds0_go d (depth + 1) (remaining - cost);
+      Search_state.unplace d.state ~depth
+    end;
+    lds0_each d depth remaining (Search_state.next_unused d.state job)
+      (rank + 1)
+  end
+
+let lds_original_iteration d k = lds0_go d 0 (min k (d.n - 1))
 
 (* LDS iteration k: all paths with exactly [k] discrepancies, explored
-   left to right. *)
-let lds_iteration d k =
-  let rec go depth remaining =
-    (* Only descend if [remaining] discrepancies can still be consumed
-       strictly below: one per level with >= 2 children. *)
-    let max_below next_depth = Stdlib.max 0 (d.n - 1 - next_depth) in
-    let children = d.n - depth in
-    let try_rank rank =
-      let cost = if rank = 0 then 0 else 1 in
-      if cost <= remaining && remaining - cost <= max_below (depth + 1) then
-        let (_ : bool) =
-          descend d ~depth ~rank (fun () -> go (depth + 1) (remaining - cost))
-        in
-        ()
-    in
-    for rank = 0 to children - 1 do
-      try_rank rank
-    done
-  in
-  if k <= d.n - 1 then go 0 k
+   left to right.  Only descend if the remaining discrepancies can
+   still be consumed strictly below: one per level with >= 2
+   children. *)
+let rec lds_go d depth remaining =
+  lds_each d depth remaining (Search_state.first_unused d.state) 0
 
-(* DDS iteration i >= 1: any child above choice-depth i-1, a forced
-   discrepancy at i-1, heuristic only below. *)
+and lds_each d depth remaining job rank =
+  if job < d.n then begin
+    let cost = if rank = 0 then 0 else 1 in
+    let max_below = Stdlib.max 0 (d.n - 2 - depth) in
+    if cost <= remaining && remaining - cost <= max_below then begin
+      check_budget d;
+      Search_state.place d.state ~depth ~job;
+      if depth = d.n - 1 then at_leaf d ~depth
+      else if not (hopeless d ~depth) then
+        lds_go d (depth + 1) (remaining - cost);
+      Search_state.unplace d.state ~depth
+    end;
+    lds_each d depth remaining (Search_state.next_unused d.state job)
+      (rank + 1)
+  end
+
+let lds_iteration d k = if k <= d.n - 1 then lds_go d 0 k
+
+(* DDS iteration i >= 1: any child above choice-depth [d.forced], a
+   forced discrepancy at [d.forced], heuristic only below. *)
+let rec dds_go d depth =
+  if depth < d.forced then
+    dds_each d depth (Search_state.first_unused d.state)
+  else if depth = d.forced then begin
+    (* ranks 1 and up: skip the heuristic child *)
+    let job = Search_state.first_unused d.state in
+    if job < d.n then dds_each d depth (Search_state.next_unused d.state job)
+  end
+  else begin
+    let job = Search_state.first_unused d.state in
+    if job < d.n then begin
+      check_budget d;
+      Search_state.place d.state ~depth ~job;
+      if depth = d.n - 1 then at_leaf d ~depth
+      else if not (hopeless d ~depth) then dds_go d (depth + 1);
+      Search_state.unplace d.state ~depth
+    end
+  end
+
+and dds_each d depth job =
+  if job < d.n then begin
+    check_budget d;
+    Search_state.place d.state ~depth ~job;
+    if depth = d.n - 1 then at_leaf d ~depth
+    else if not (hopeless d ~depth) then dds_go d (depth + 1);
+    Search_state.unplace d.state ~depth;
+    dds_each d depth (Search_state.next_unused d.state job)
+  end
+
 let dds_iteration d i =
-  let forced = i - 1 in
-  let rec go depth =
-    if depth < forced then
-      for rank = 0 to d.n - depth - 1 do
-        let (_ : bool) = descend d ~depth ~rank (fun () -> go (depth + 1)) in
-        ()
-      done
-    else if depth = forced then
-      for rank = 1 to d.n - depth - 1 do
-        let (_ : bool) = descend d ~depth ~rank (fun () -> go (depth + 1)) in
-        ()
-      done
-    else
-      let (_ : bool) = descend d ~depth ~rank:0 (fun () -> go (depth + 1)) in
-      ()
-  in
+  d.forced <- i - 1;
   (* a discrepancy needs >= 2 children at the forced depth *)
-  if forced <= d.n - 2 then go 0
+  if d.forced <= d.n - 2 then dds_go d 0
 
-let dfs_all d =
-  let rec go depth =
-    for rank = 0 to d.n - depth - 1 do
-      let (_ : bool) = descend d ~depth ~rank (fun () -> go (depth + 1)) in
-      ()
-    done
-  in
-  go 0
+let rec dfs_go d depth =
+  dfs_each d depth (Search_state.first_unused d.state)
+
+and dfs_each d depth job =
+  if job < d.n then begin
+    check_budget d;
+    Search_state.place d.state ~depth ~job;
+    if depth = d.n - 1 then at_leaf d ~depth
+    else if not (hopeless d ~depth) then dfs_go d (depth + 1);
+    Search_state.unplace d.state ~depth;
+    dfs_each d depth (Search_state.next_unused d.state job)
+  end
+
+let dfs_all d = dfs_go d 0
 
 let run ?(prune = false) algorithm ~budget state =
   let n = Search_state.job_count state in
@@ -174,6 +208,7 @@ let run ?(prune = false) algorithm ~budget state =
       budget;
       prune;
       enforce_budget = false;
+      forced = 0;
       best = None;
       best_order = Array.make n (-1);
       best_starts = Array.make n 0.0;

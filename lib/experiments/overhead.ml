@@ -1,6 +1,6 @@
 open Simcore
 
-let synthetic_state ?(n_waiting = 30) ~seed () =
+let synthetic_state ?(n_waiting = 30) ?backtrack ~seed () =
   let rng = Rng.create ~seed in
   let now = Units.days 100.0 in
   let capacity = 128 in
@@ -36,15 +36,32 @@ let synthetic_state ?(n_waiting = 30) ~seed () =
   let thresholds =
     Core.Bound.thresholds Core.Bound.dynamic ~now ~r_star ordered
   in
-  Core.Search_state.create ~now ~profile ~jobs:ordered ~durations ~thresholds
-    ()
+  Core.Search_state.create ?backtrack ~now ~profile ~jobs:ordered ~durations
+    ~thresholds ()
 
-let time_one ~budget ~seed =
-  let state = synthetic_state ~seed () in
-  let t0 = Unix.gettimeofday () in
+(* Monotonic wall-clock interval in seconds.  [Unix.gettimeofday] can
+   jump under NTP adjustment mid-measurement; the bechamel clock
+   cannot. *)
+let monotonic_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let time_one ?n_waiting ?backtrack ~budget ~seed () =
+  let state = synthetic_state ?n_waiting ?backtrack ~seed () in
+  let t0 = monotonic_s () in
   let result = Core.Search.run Core.Search.Dds ~budget state in
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = monotonic_s () -. t0 in
   (elapsed, result.Core.Search.nodes_visited)
+
+let nodes_per_ms ?n_waiting ?backtrack ?(repeats = 20) ~budget () =
+  let total_time = ref 0.0 in
+  let total_nodes = ref 0 in
+  for i = 1 to repeats do
+    let elapsed, nodes =
+      time_one ?n_waiting ?backtrack ~budget ~seed:(1000 + i) ()
+    in
+    total_time := !total_time +. elapsed;
+    total_nodes := !total_nodes + nodes
+  done;
+  float_of_int !total_nodes /. Float.max (1000.0 *. !total_time) 1e-9
 
 let run fmt =
   Common.section fmt ~id:"overhead"
@@ -57,7 +74,7 @@ let run fmt =
       let total_time = ref 0.0 in
       let total_nodes = ref 0 in
       for i = 1 to repeats do
-        let elapsed, nodes = time_one ~budget ~seed:(1000 + i) in
+        let elapsed, nodes = time_one ~budget ~seed:(1000 + i) () in
         total_time := !total_time +. elapsed;
         total_nodes := !total_nodes + nodes
       done;

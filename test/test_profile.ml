@@ -90,6 +90,103 @@ let test_copy_into_capacity_mismatch () =
     (Invalid_argument "Profile.copy_into: capacity mismatch") (fun () ->
       Profile.copy_into ~src:p ~dst:q)
 
+(* --- trail-based backtracking --- *)
+
+let check_segments msg expected p =
+  Alcotest.(check (list (pair (float 1e-12) int))) msg expected
+    (Profile.segments p)
+
+let test_trail_undo_restores () =
+  let p = Profile.of_running ~now:0.0 ~capacity:10 [ (100.0, 4) ] in
+  let before = Profile.segments p in
+  let m = Profile.mark p in
+  Profile.reserve p ~at:0.0 ~nodes:3 ~duration:50.0;
+  Alcotest.(check bool) "changed" false (Profile.segments p = before);
+  Profile.undo_to p m;
+  check_segments "restored exactly" before p;
+  Alcotest.(check int) "trail rewound" 0 (Profile.trail_length p);
+  Alcotest.(check bool) "invariant" true (Profile.invariant p)
+
+let test_trail_finish_past_last_boundary () =
+  (* reservation window extends beyond the last segment boundary: the
+     final infinite segment is split at the finish time *)
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  Profile.reserve p ~at:0.0 ~nodes:3 ~duration:10.0;
+  let before = Profile.segments p in
+  let m = Profile.mark p in
+  Profile.reserve p ~at:20.0 ~nodes:2 ~duration:1000.0;
+  check_segments "split at finish"
+    [ (0.0, 7); (10.0, 10); (20.0, 8); (1020.0, 10) ]
+    p;
+  Profile.undo_to p m;
+  check_segments "restored exactly" before p
+
+let test_trail_split_at_at () =
+  (* reservation starting strictly inside a segment: split at [at] *)
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  let m = Profile.mark p in
+  Profile.reserve p ~at:5.0 ~nodes:4 ~duration:10.0;
+  check_segments "split at at" [ (0.0, 10); (5.0, 6); (15.0, 10) ] p;
+  Profile.undo_to p m;
+  check_segments "restored exactly" [ (0.0, 10) ] p
+
+let test_trail_merge_both_ends () =
+  (* the carved run ends up equal to both neighbours: two local merges
+     recorded on the trail, both undone *)
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  Profile.reserve p ~at:0.0 ~nodes:4 ~duration:10.0;
+  Profile.reserve p ~at:20.0 ~nodes:4 ~duration:10.0;
+  let before = Profile.segments p in
+  Alcotest.(check int) "four segments" 4 (List.length before);
+  let m = Profile.mark p in
+  Profile.reserve p ~at:10.0 ~nodes:4 ~duration:10.0;
+  check_segments "merged with both neighbours" [ (0.0, 6); (30.0, 10) ] p;
+  Profile.undo_to p m;
+  check_segments "restored exactly" before p
+
+let test_trail_nested_marks () =
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  let m0 = Profile.mark p in
+  Profile.reserve p ~at:0.0 ~nodes:2 ~duration:10.0;
+  let mid = Profile.segments p in
+  let m1 = Profile.mark p in
+  Profile.reserve p ~at:5.0 ~nodes:3 ~duration:10.0;
+  Profile.undo_to p m1;
+  check_segments "inner undone" mid p;
+  Profile.undo_to p m0;
+  check_segments "outer undone" [ (0.0, 10) ] p
+
+let test_trail_invalid_mark () =
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  let m0 = Profile.mark p in
+  Profile.reserve p ~at:0.0 ~nodes:2 ~duration:10.0;
+  let m1 = Profile.mark p in
+  Profile.undo_to p m0;
+  Alcotest.check_raises "mark already undone past"
+    (Invalid_argument "Profile.undo_to: mark not on the current trail")
+    (fun () -> Profile.undo_to p m1)
+
+let test_copy_into_clears_trail () =
+  let p = Profile.create ~now:0.0 ~capacity:10 in
+  let q = Profile.create ~now:0.0 ~capacity:10 in
+  let _m0 = Profile.mark p in
+  Profile.reserve p ~at:0.0 ~nodes:2 ~duration:10.0;
+  let m1 = Profile.mark p in
+  Profile.copy_into ~src:q ~dst:p;
+  Alcotest.(check int) "trail cleared" 0 (Profile.trail_length p);
+  Alcotest.check_raises "stale mark rejected"
+    (Invalid_argument "Profile.undo_to: mark not on the current trail")
+    (fun () -> Profile.undo_to p m1)
+
+let test_place_earliest_matches_two_step () =
+  let p = Profile.of_running ~now:0.0 ~capacity:10 [ (100.0, 4); (50.0, 2) ] in
+  let q = Profile.copy p in
+  let s = Profile.place_earliest p ~nodes:6 ~duration:75.0 in
+  let s' = Profile.earliest_start q ~nodes:6 ~duration:75.0 in
+  Profile.reserve q ~at:s' ~nodes:6 ~duration:75.0;
+  Alcotest.(check (float 1e-9)) "same start" s' s;
+  check_segments "same segments" (Profile.segments q) p
+
 (* --- properties --- *)
 
 (* Random placement plan: list of (nodes, duration). *)
@@ -153,6 +250,74 @@ let prop_free_never_negative =
       List.for_all (fun (_, free) -> free >= 0 && free <= 16)
         (Profile.segments p))
 
+(* Oracle property for the trail: a random LIFO pattern of
+   reservations and undos, each checked bit-for-bit against a
+   [Profile.copy] snapshot taken at the mark.  [push] reserves at the
+   earliest start of a random job (durations long enough to reach past
+   the last boundary, starts falling both on and between boundaries),
+   [pop] undoes; the trailing pops verify the whole stack unwinds. *)
+let trail_op_gen =
+  QCheck.Gen.(
+    list_size (1 -- 40)
+      (frequency
+         [ (3, map2 (fun n d -> `Push (n, float_of_int (d + 1)))
+                (1 -- 16) (0 -- 5000));
+           (2, return `Pop) ]))
+
+let trail_ops_arbitrary =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | `Push (n, d) -> Printf.sprintf "push(%d,%g)" n d
+             | `Pop -> "pop")
+           ops))
+    trail_op_gen
+
+let prop_trail_matches_copy_oracle =
+  QCheck.Test.make ~name:"undo_to restores bit-for-bit (vs copy oracle)"
+    ~count:300 trail_ops_arbitrary (fun ops ->
+      let p = Profile.create ~now:0.0 ~capacity:16 in
+      let stack = ref [] in
+      let ok = ref true in
+      let pop () =
+        match !stack with
+        | [] -> ()
+        | (m, oracle) :: rest ->
+            stack := rest;
+            Profile.undo_to p m;
+            ok :=
+              !ok
+              && Profile.segments p = Profile.segments oracle
+              && Profile.invariant p
+      in
+      List.iter
+        (function
+          | `Push (nodes, duration) ->
+              let oracle = Profile.copy p in
+              let m = Profile.mark p in
+              let s = Profile.earliest_start p ~nodes ~duration in
+              Profile.reserve p ~at:s ~nodes ~duration;
+              stack := (m, oracle) :: !stack
+          | `Pop -> pop ())
+        ops;
+      while !stack <> [] do pop () done;
+      !ok)
+
+let prop_place_earliest_equals_two_step =
+  QCheck.Test.make ~name:"place_earliest = earliest_start; reserve"
+    ~count:300 plan_arbitrary (fun plan ->
+      let p = Profile.create ~now:0.0 ~capacity:16 in
+      let q = Profile.create ~now:0.0 ~capacity:16 in
+      List.for_all
+        (fun (nodes, duration) ->
+          let s = Profile.place_earliest p ~nodes ~duration in
+          let s' = Profile.earliest_start q ~nodes ~duration in
+          Profile.reserve q ~at:s' ~nodes ~duration;
+          s = s' && Profile.segments p = Profile.segments q)
+        plan)
+
 let suite =
   [
     Alcotest.test_case "create" `Quick test_create;
@@ -175,8 +340,22 @@ let suite =
     Alcotest.test_case "copy independence" `Quick test_copy_independent;
     Alcotest.test_case "copy_into mismatch" `Quick
       test_copy_into_capacity_mismatch;
+    Alcotest.test_case "trail undo restores" `Quick test_trail_undo_restores;
+    Alcotest.test_case "trail finish past last boundary" `Quick
+      test_trail_finish_past_last_boundary;
+    Alcotest.test_case "trail split at at" `Quick test_trail_split_at_at;
+    Alcotest.test_case "trail merges both ends" `Quick
+      test_trail_merge_both_ends;
+    Alcotest.test_case "trail nested marks" `Quick test_trail_nested_marks;
+    Alcotest.test_case "trail invalid mark" `Quick test_trail_invalid_mark;
+    Alcotest.test_case "copy_into clears trail" `Quick
+      test_copy_into_clears_trail;
+    Alcotest.test_case "place_earliest = two-step" `Quick
+      test_place_earliest_matches_two_step;
     QCheck_alcotest.to_alcotest prop_invariant_under_reserves;
     QCheck_alcotest.to_alcotest prop_earliest_start_is_feasible;
     QCheck_alcotest.to_alcotest prop_earliest_start_is_minimal;
     QCheck_alcotest.to_alcotest prop_free_never_negative;
+    QCheck_alcotest.to_alcotest prop_trail_matches_copy_oracle;
+    QCheck_alcotest.to_alcotest prop_place_earliest_equals_two_step;
   ]

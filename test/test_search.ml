@@ -6,12 +6,13 @@ let r_star (j : Workload.Job.t) = j.runtime
 
 (* Build a search state over an empty or partially busy machine. *)
 let make_state ?(now = 0.0) ?(capacity = 8) ?(releases = [])
-    ?(bound = Bound.fixed_hours 1e6) ~heuristic jobs =
+    ?(bound = Bound.fixed_hours 1e6) ?backtrack ?on_place ~heuristic jobs =
   let profile = Cluster.Profile.of_running ~now ~capacity releases in
   let ordered = Branching.order heuristic ~now ~r_star jobs in
   let durations = Array.map r_star ordered in
   let thresholds = Bound.thresholds bound ~now ~r_star ordered in
-  Search_state.create ~now ~profile ~jobs:ordered ~durations ~thresholds ()
+  Search_state.create ?backtrack ?on_place ~now ~profile ~jobs:ordered
+    ~durations ~thresholds ()
 
 (* Brute force: evaluate every permutation with a fresh state. *)
 let brute_force_best state =
@@ -22,7 +23,7 @@ let brute_force_best state =
       Search_state.reset state;
       List.iteri
         (fun depth job ->
-          ignore (Search_state.place state ~depth ~job))
+          Search_state.place state ~depth ~job)
         path;
       let obj = Search_state.leaf_objective state in
       (match !best with
@@ -43,8 +44,10 @@ let test_place_semantics () =
       Helpers.job ~id:1 ~submit:1.0 ~nodes:8 ~runtime:50.0 () ]
   in
   let state = make_state ~heuristic:Branching.Fcfs jobs in
-  let s0 = Search_state.place state ~depth:0 ~job:0 in
-  let s1 = Search_state.place state ~depth:1 ~job:1 in
+  Search_state.place state ~depth:0 ~job:0;
+  let s0 = Search_state.start_at state ~depth:0 in
+  Search_state.place state ~depth:1 ~job:1;
+  let s1 = Search_state.start_at state ~depth:1 in
   Alcotest.(check (float 1e-9)) "first starts now" 0.0 s0;
   Alcotest.(check (float 1e-9)) "second queued behind" 100.0 s1;
   Alcotest.(check int) "two nodes visited" 2 (Search_state.nodes_visited state);
@@ -57,8 +60,10 @@ let test_place_order_changes_starts () =
       Helpers.job ~id:1 ~submit:1.0 ~nodes:8 ~runtime:50.0 () ]
   in
   let state = make_state ~heuristic:Branching.Fcfs jobs in
-  let s1 = Search_state.place state ~depth:0 ~job:1 in
-  let s0 = Search_state.place state ~depth:1 ~job:0 in
+  Search_state.place state ~depth:0 ~job:1;
+  let s1 = Search_state.start_at state ~depth:0 in
+  Search_state.place state ~depth:1 ~job:0;
+  let s0 = Search_state.start_at state ~depth:1 in
   Alcotest.(check (float 1e-9)) "reversed: short first" 0.0 s1;
   Alcotest.(check (float 1e-9)) "long waits 50s" 50.0 s0
 
@@ -74,9 +79,10 @@ let test_backfill_within_path () =
   let state =
     make_state ~capacity:16 ~heuristic:Branching.Fcfs jobs
   in
-  ignore (Search_state.place state ~depth:0 ~job:0);
-  ignore (Search_state.place state ~depth:1 ~job:1);
-  let s2 = Search_state.place state ~depth:2 ~job:2 in
+  Search_state.place state ~depth:0 ~job:0;
+  Search_state.place state ~depth:1 ~job:1;
+  Search_state.place state ~depth:2 ~job:2;
+  let s2 = Search_state.start_at state ~depth:2 in
   (* jobs 0 and 1 fill 16 nodes in [0,50); job 2 must wait for the
      first release at t=50 *)
   Alcotest.(check (float 1e-9)) "third waits for hole" 50.0 s2
@@ -86,11 +92,12 @@ let test_unplace_restores () =
     [ Helpers.job ~id:0 ~nodes:4 (); Helpers.job ~id:1 ~submit:1.0 ~nodes:4 () ]
   in
   let state = make_state ~heuristic:Branching.Fcfs jobs in
-  ignore (Search_state.place state ~depth:0 ~job:0);
-  ignore (Search_state.place state ~depth:1 ~job:1);
+  Search_state.place state ~depth:0 ~job:0;
+  Search_state.place state ~depth:1 ~job:1;
   Search_state.unplace state ~depth:1;
   Alcotest.(check bool) "job 1 free again" false (Search_state.used state 1);
-  let s1 = Search_state.place state ~depth:1 ~job:1 in
+  Search_state.place state ~depth:1 ~job:1;
+  let s1 = Search_state.start_at state ~depth:1 in
   Alcotest.(check (float 1e-9)) "same start on re-place" 0.0 s1
 
 let test_nth_unused () =
@@ -98,7 +105,7 @@ let test_nth_unused () =
     List.init 3 (fun id -> Helpers.job ~id ~submit:(float_of_int id) ())
   in
   let state = make_state ~heuristic:Branching.Fcfs jobs in
-  ignore (Search_state.place state ~depth:0 ~job:1);
+  Search_state.place state ~depth:0 ~job:1;
   Alcotest.(check (option int)) "rank 0" (Some 0) (Search_state.nth_unused state 0);
   Alcotest.(check (option int)) "rank 1" (Some 2) (Search_state.nth_unused state 1);
   Alcotest.(check (option int)) "rank 2 exhausted" None
@@ -181,6 +188,88 @@ let prop_prune_preserves_best =
       in
       Objective.compare plain.Search.best pruned.Search.best = 0
       && pruned.Search.nodes_visited <= plain.Search.nodes_visited)
+
+(* --- trail vs snapshot equivalence --- *)
+
+(* Both backtracking strategies must be observationally identical: the
+   same node sequence (depth, job, start triples, recorded through the
+   [on_place] hook) and the same result record, for every algorithm
+   and branching heuristic, exhaustive (n <= 5) or budget-truncated. *)
+let run_instrumented ~algo ~heuristic ~backtrack ~budget ~releases jobs =
+  let visits = ref [] in
+  let state =
+    make_state ~now:1100.0 ~releases ~bound:(Bound.fixed_hours 0.5) ~backtrack
+      ~on_place:(fun ~depth ~job ~start ->
+        visits := (depth, job, start) :: !visits)
+      ~heuristic jobs
+  in
+  let result = Search.run algo ~budget state in
+  (result, List.rev !visits)
+
+let strategies_equivalent seed =
+  let rng = Simcore.Rng.create ~seed in
+  let n = 1 + Simcore.Rng.int rng 12 in
+  let jobs = random_jobs rng n in
+  let releases = random_releases rng in
+  let budget =
+    if n <= 5 then max_int else 200 + Simcore.Rng.int rng 1800
+  in
+  List.for_all
+    (fun algo ->
+      List.for_all
+        (fun heuristic ->
+          let rt, vt =
+            run_instrumented ~algo ~heuristic
+              ~backtrack:Search_state.Trail ~budget ~releases jobs
+          in
+          let rs, vs =
+            run_instrumented ~algo ~heuristic
+              ~backtrack:Search_state.Snapshot ~budget ~releases jobs
+          in
+          vt = vs && rt = rs)
+        [ Branching.Fcfs; Branching.Lxf ])
+    [ Search.Dfs; Search.Lds; Search.Lds_original; Search.Dds ]
+
+let prop_trail_snapshot_equivalent =
+  QCheck.Test.make
+    ~name:"trail = snapshot (4 algorithms x 2 heuristics, n <= 12)"
+    ~count:40 QCheck.small_int strategies_equivalent
+
+let test_reset_after_budget_spent () =
+  (* A budget abort unwinds through Budget_spent and Search.run resets
+     the state; reusing that state (with a cumulative budget, since the
+     node counter survives reset) must behave exactly like a fresh
+     one.  Regression: reset used to leave starts and partial
+     objectives stale. *)
+  let rng = Simcore.Rng.create ~seed:11 in
+  let jobs = random_jobs rng 8 in
+  let reused = make_state ~heuristic:Branching.Lxf jobs in
+  let r1 = Search.run Search.Dds ~budget:100 reused in
+  Alcotest.(check bool) "first run aborted" false r1.Search.exhausted;
+  for depth = 0 to 7 do
+    Alcotest.(check int) "chosen cleared" (-1)
+      (Search_state.chosen reused ~depth);
+    Alcotest.(check (float 1e-9)) "start cleared" 0.0
+      (Search_state.start_at reused ~depth);
+    let partial = Search_state.partial reused ~depth in
+    Alcotest.(check (float 1e-9)) "partial excess cleared" 0.0
+      partial.Objective.excess;
+    Alcotest.(check (float 1e-9)) "partial secondary cleared" 0.0
+      partial.Objective.secondary_sum
+  done;
+  Alcotest.(check int) "unused list rebuilt" 0 (Search_state.first_unused reused);
+  let r2 = Search.run Search.Dds ~budget:200 reused in
+  let control =
+    Search.run Search.Dds ~budget:100 (make_state ~heuristic:Branching.Lxf jobs)
+  in
+  Alcotest.(check int) "same nodes as a fresh state" 200
+    r2.Search.nodes_visited;
+  Alcotest.(check int) "same leaves as a fresh state"
+    control.Search.leaves_evaluated r2.Search.leaves_evaluated;
+  Alcotest.(check bool) "same best order as a fresh state" true
+    (r2.Search.best_order = control.Search.best_order);
+  Alcotest.(check int) "same objective as a fresh state" 0
+    (Objective.compare r2.Search.best control.Search.best)
 
 let test_budget_enforced () =
   let rng = Simcore.Rng.create ~seed:3 in
@@ -275,6 +364,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_dds_optimal;
     QCheck_alcotest.to_alcotest prop_lds_original_optimal;
     QCheck_alcotest.to_alcotest prop_prune_preserves_best;
+    QCheck_alcotest.to_alcotest prop_trail_snapshot_equivalent;
+    Alcotest.test_case "reset after budget abort" `Quick
+      test_reset_after_budget_spent;
     Alcotest.test_case "budget enforced" `Quick test_budget_enforced;
     Alcotest.test_case "iteration 0 exempt" `Quick
       test_iteration0_exempt_from_budget;
