@@ -9,18 +9,26 @@
      REPRO_SEED    generator seed (default 42)
      REPRO_MAXL    cap on the Figure 6 budget sweep
      REPRO_ONLY    comma-separated experiment ids to run
+     REPRO_JOBS    domain-pool width for experiment execution
+                   (default: recommended_domain_count - 1; also -j N)
      REPRO_SKIP_MICRO=1  skip the bechamel microbenchmarks
 
    Perf regression modes (instead of the tables):
 
      --perf-json [path]   measure search throughput (nodes/ms, trail
                           and snapshot backtracking) over a grid of
-                          node budgets and queue depths, plus
-                          bechamel micro-op costs, and write them as
-                          JSON (default BENCH_search_hotpath.json)
+                          node budgets and queue depths, bechamel
+                          micro-op costs, and the sequential vs
+                          parallel harness wall-clock at the
+                          REPRO_SCALE=0.1 quick config, and write
+                          them as JSON (default
+                          BENCH_search_hotpath.json)
      --perf-smoke [path]  re-measure the L=8000 / 30-job point and
                           fail (exit 1) if it regressed more than 30%
-                          below the committed baseline JSON *)
+                          below the committed baseline JSON, or if the
+                          parallel rendering of the smoke figure
+                          differs byte-for-byte from the sequential
+                          one *)
 
 open Bechamel
 open Toolkit
@@ -33,23 +41,35 @@ let selected () =
       |> List.map String.trim
       |> List.filter_map Experiments.Registry.find
 
+(* One failing experiment must not kill the whole regeneration (e.g.
+   the known Predicted-estimator oversubscription at small scales).
+   The exception text is deterministic, so guarded output stays
+   byte-identical between sequential and parallel renders. *)
+let run_guarded e fmt =
+  try e.Experiments.Registry.run fmt
+  with exn ->
+    Format.fprintf fmt "@.[%s FAILED: %s]@." e.Experiments.Registry.id
+      (Printexc.to_string exn)
+
 let run_experiments fmt =
   Format.fprintf fmt
     "Search-based Job Scheduling for Parallel Computer Workloads@.";
   Format.fprintf fmt
     "Reproduction harness (Vasupongayya, Chiang & Massey, Cluster 2005)@.";
-  Format.fprintf fmt "scale=%g seed=%d months=%s@." (Experiments.Common.scale ())
+  Format.fprintf fmt "scale=%g seed=%d jobs=%d months=%s@."
+    (Experiments.Common.scale ())
     (Experiments.Common.seed ())
+    (Experiments.Common.jobs ())
     (String.concat ","
        (List.map
           (fun m -> m.Workload.Month_profile.label)
           (Experiments.Common.months ())));
   List.iter
     (fun e ->
-      let t0 = Unix.gettimeofday () in
-      e.Experiments.Registry.run fmt;
+      let t0 = Simcore.Clock.monotonic_s () in
+      run_guarded e fmt;
       Format.fprintf fmt "[%s done in %.1fs]@." e.Experiments.Registry.id
-        (Unix.gettimeofday () -. t0))
+        (Simcore.Clock.monotonic_s () -. t0))
     (selected ())
 
 (* ------------------------------------------------------------------ *)
@@ -180,6 +200,54 @@ let measure_grid ~backtrack ~prefix ~repeats out =
         perf_queue_depths)
     perf_budgets
 
+(* ------------------------------------------------------------------ *)
+(* Sequential vs parallel harness wall-clock                           *)
+
+(* Pin the quick-loop config (CLAUDE.md) unless the caller chose one:
+   the wallclock numbers in the JSON are comparable only at a fixed
+   workload. *)
+let quick_config () =
+  Unix.putenv "REPRO_SCALE" "0.1";
+  if Sys.getenv_opt "REPRO_MONTHS" = None then
+    Unix.putenv "REPRO_MONTHS" "7/03,1/04";
+  if Sys.getenv_opt "REPRO_MAXL" = None then Unix.putenv "REPRO_MAXL" "10000"
+
+(* Render [ids] to a buffer with a cold cache at pool width [jobs],
+   returning (rendered bytes, per-experiment seconds, total seconds). *)
+let timed_render ~jobs ids =
+  Experiments.Common.set_jobs jobs;
+  Experiments.Common.reset_caches ();
+  let buf = Buffer.create (1 lsl 16) in
+  let fmt = Format.formatter_of_buffer buf in
+  let t_all = Simcore.Clock.monotonic_s () in
+  let per =
+    List.map
+      (fun e ->
+        let t0 = Simcore.Clock.monotonic_s () in
+        run_guarded e fmt;
+        (e.Experiments.Registry.id, Simcore.Clock.monotonic_s () -. t0))
+      ids
+  in
+  let total = Simcore.Clock.monotonic_s () -. t_all in
+  Format.pp_print_flush fmt ();
+  (Buffer.contents buf, per, total)
+
+let wallclock_entries () =
+  quick_config ();
+  let ids = selected () in
+  let par_jobs = max 2 (Experiments.Common.jobs ()) in
+  let _, per_seq, seq_s = timed_render ~jobs:1 ids in
+  let _, per_par, par_s = timed_render ~jobs:par_jobs ids in
+  Printf.printf
+    "harness wallclock at REPRO_SCALE=0.1: seq %.1fs, par %.1fs (-j %d), speedup %.2fx\n%!"
+    seq_s par_s par_jobs (seq_s /. Float.max par_s 1e-9);
+  [ ("bench_wallclock_seq_s", seq_s);
+    ("bench_wallclock_par_s", par_s);
+    ("par_jobs", float_of_int par_jobs);
+    ("par_speedup", seq_s /. Float.max par_s 1e-9) ]
+  @ List.map (fun (id, s) -> (Printf.sprintf "wall_%s_seq_s" id, s)) per_seq
+  @ List.map (fun (id, s) -> (Printf.sprintf "wall_%s_par_s" id, s)) per_par
+
 let perf_json path =
   (* warm up code paths and the branch predictor before measuring *)
   ignore (Experiments.Overhead.nodes_per_ms ~repeats:5 ~budget:8000 ());
@@ -198,22 +266,26 @@ let perf_json path =
       ("micro_reserve_undo_ns", ols_ns micro_reserve_undo);
       ("micro_copy_into_ns", ols_ns micro_copy_into) ]
   in
+  let wall = wallclock_entries () in
+  let fields =
+    List.map (fun (k, v) -> (k, Printf.sprintf "%.1f" v)) (List.rev !entries)
+    @ List.map (fun (k, v) -> (k, Printf.sprintf "%.1f" v)) micro
+    @ List.map (fun (k, v) -> (k, Printf.sprintf "%.3f" v)) wall
+  in
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"search_hotpath/1\",\n";
-  Printf.fprintf oc "  \"unit\": \"nodes_per_ms (grid), ns (micro)\",\n";
+  Printf.fprintf oc "  \"schema\": \"search_hotpath/2\",\n";
+  Printf.fprintf oc
+    "  \"unit\": \"nodes_per_ms (grid), ns (micro), s (wall)\",\n";
   Printf.fprintf oc "  \"bench\": \"DDS/lxf on the synthetic 128-node decision point\",\n";
-  List.iter
-    (fun (k, v) -> Printf.fprintf oc "  \"%s\": %.1f,\n" k v)
-    (List.rev !entries);
   let rec emit = function
     | [] -> ()
-    | [ (k, v) ] -> Printf.fprintf oc "  \"%s\": %.1f\n" k v
+    | [ (k, v) ] -> Printf.fprintf oc "  \"%s\": %s\n" k v
     | (k, v) :: rest ->
-        Printf.fprintf oc "  \"%s\": %.1f,\n" k v;
+        Printf.fprintf oc "  \"%s\": %s,\n" k v;
         emit rest
   in
-  emit micro;
+  emit fields;
   Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "wrote %s (%s = %.0f nodes/ms)\n" path smoke_key
@@ -252,6 +324,28 @@ let baseline_value path key =
       if !stop = !start then None
       else float_of_string_opt (String.sub s !start (!stop - !start))
 
+(* Render fig3 (the smoke figure) sequentially and through a >= 2-wide
+   pool; any byte difference means the parallel execution layer leaked
+   into the results. *)
+let parallel_determinism_smoke () =
+  if Sys.getenv_opt "REPRO_MONTHS" = None then Unix.putenv "REPRO_MONTHS" "7/03";
+  let fig3 =
+    match Experiments.Registry.find "fig3" with
+    | Some e -> e
+    | None -> assert false
+  in
+  let seq, _, _ = timed_render ~jobs:1 [ fig3 ] in
+  let par, _, _ =
+    timed_render ~jobs:(max 2 (Simcore.Pool.default_jobs ())) [ fig3 ]
+  in
+  if String.equal seq par then
+    Printf.printf "perf-smoke: parallel rendering of fig3 is byte-identical\n"
+  else begin
+    Printf.eprintf
+      "perf-smoke: FAIL — parallel fig3 rendering differs from sequential\n";
+    exit 1
+  end
+
 let perf_smoke path =
   match baseline_value path smoke_key with
   | None ->
@@ -269,23 +363,45 @@ let perf_smoke path =
         Printf.eprintf
           "perf-smoke: FAIL — search hot path regressed more than 30%%\n";
         exit 1
-      end
-      else Printf.printf "perf-smoke: OK\n"
+      end;
+      parallel_determinism_smoke ();
+      Printf.printf "perf-smoke: OK\n"
+
+(* Consume "-j N" / "--jobs N" anywhere on the command line; the rest
+   is matched positionally below. *)
+let prescan_jobs argv =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 ->
+            Experiments.Common.set_jobs j;
+            go acc rest
+        | _ ->
+            Printf.eprintf "invalid -j value %S (want an int >= 1)\n" v;
+            exit 2)
+    | ("-j" | "--jobs") :: [] ->
+        prerr_endline "-j needs a value";
+        exit 2
+    | a :: rest -> go (a :: acc) rest
+  in
+  Array.of_list (go [] (Array.to_list argv))
 
 let () =
   let fmt = Format.std_formatter in
-  match Sys.argv with
+  (match prescan_jobs Sys.argv with
   | [| _ |] ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Simcore.Clock.monotonic_s () in
       run_experiments fmt;
       if Sys.getenv_opt "REPRO_SKIP_MICRO" = None then microbench fmt;
       Format.fprintf fmt "@.total bench time: %.1fs@."
-        (Unix.gettimeofday () -. t0)
+        (Simcore.Clock.monotonic_s () -. t0)
   | [| _; "--perf-json" |] -> perf_json "BENCH_search_hotpath.json"
   | [| _; "--perf-json"; path |] -> perf_json path
   | [| _; "--perf-smoke" |] -> perf_smoke "BENCH_search_hotpath.json"
   | [| _; "--perf-smoke"; path |] -> perf_smoke path
   | _ ->
       prerr_endline
-        "usage: main.exe [--perf-json [path] | --perf-smoke [path]]";
-      exit 2
+        "usage: main.exe [-j N] [--perf-json [path] | --perf-smoke [path]]";
+      exit 2);
+  Experiments.Common.shutdown_pool ()

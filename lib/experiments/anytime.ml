@@ -17,7 +17,7 @@ let run fmt =
   (* mean objective of the heuristic path alone, as the baseline *)
   let heuristic_excess =
     mean
-      (List.map
+      (Common.par_map
          (fun seed ->
            let state = Overhead.synthetic_state ~seed () in
            let r = Core.Search.run Core.Search.Dds ~budget:1 state in
@@ -31,18 +31,34 @@ let run fmt =
   Format.fprintf fmt "%-8s" "algo";
   List.iter (fun b -> Format.fprintf fmt " %8d" b) budgets;
   Format.pp_print_newline fmt ();
-  let excess_of algo budget seed =
+  let excess_of (algo, budget, seed) =
     let state = Overhead.synthetic_state ~seed () in
     let r = Core.Search.run algo ~budget state in
     Simcore.Units.to_hours r.Core.Search.best.Core.Objective.excess
+  in
+  (* every (algo, budget, seed) search is independent: one flat plan
+     over the pool, means folded per (algo, budget) cell afterwards *)
+  let grid =
+    List.concat_map
+      (fun (algo, _) ->
+        List.map (fun budget -> (algo, budget)) budgets)
+      algorithms
+  in
+  let cells =
+    Common.par_map
+      (fun (algo, budget) ->
+        mean (List.map (fun seed -> excess_of (algo, budget, seed)) seeds))
+      grid
+  in
+  let value =
+    let table = List.combine grid cells in
+    fun algo budget -> List.assoc (algo, budget) table
   in
   List.iter
     (fun (algo, name) ->
       Format.fprintf fmt "%-8s" name;
       List.iter
-        (fun budget ->
-          Format.fprintf fmt " %8.1f"
-            (mean (List.map (excess_of algo budget) seeds)))
+        (fun budget -> Format.fprintf fmt " %8.1f" (value algo budget))
         budgets;
       Format.pp_print_newline fmt ())
     algorithms;

@@ -18,6 +18,7 @@ let run fmt =
       let policies =
         Fig3.policies ~load ~r_star:Sim.Engine.Actual ~budget:Fig4.budget_for
       in
+      Common.prefetch_runs ~months:[ month ] policies;
       let trace = Common.trace month load in
       let start = Workload.Trace.measure_start trace in
       let stop = Workload.Trace.measure_end trace in

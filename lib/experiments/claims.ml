@@ -3,6 +3,7 @@ let r_star = Sim.Engine.Actual
 
 let runs_for months =
   let policies = Fig3.policies ~load ~r_star ~budget:Fig4.budget_for in
+  Common.prefetch_runs ~months policies;
   let get name =
     match List.assoc_opt name policies with
     | Some runner -> List.map (fun m -> (m, runner m)) months

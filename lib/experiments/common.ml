@@ -17,37 +17,96 @@ let env_int name default =
   | None -> default
   | Some s -> Option.value (int_of_string_opt s) ~default
 
-let scale =
-  let v = lazy (env_float "REPRO_SCALE" 1.0) in
-  fun () -> Lazy.force v
+(* Env knobs are read once and cached, but the cache is resettable so
+   harnesses (perf-json, determinism tests) can re-point REPRO_* and
+   rerun in-process.  Concurrent first reads race benignly: both
+   domains compute the same value from the same environment. *)
+let cached_env read =
+  let cell = ref None in
+  let get () =
+    match !cell with
+    | Some v -> v
+    | None ->
+        let v = read () in
+        cell := Some v;
+        v
+  in
+  let reset () = cell := None in
+  (get, reset)
 
-let seed =
-  let v = lazy (env_int "REPRO_SEED" 42) in
-  fun () -> Lazy.force v
+let scale, reset_scale = cached_env (fun () -> env_float "REPRO_SCALE" 1.0)
+let seed, reset_seed = cached_env (fun () -> env_int "REPRO_SEED" 42)
 
-let months =
-  let v =
-    lazy
-      (match Sys.getenv_opt "REPRO_MONTHS" with
+let months, reset_months =
+  cached_env (fun () ->
+      match Sys.getenv_opt "REPRO_MONTHS" with
       | None | Some "" -> Array.to_list Workload.Month_profile.all
       | Some csv ->
           String.split_on_char ',' csv
           |> List.map String.trim
           |> List.filter (fun s -> s <> "")
           |> List.map Workload.Month_profile.find)
-  in
-  fun () -> Lazy.force v
 
-let trace_cache : (string, Workload.Trace.t) Hashtbl.t = Hashtbl.create 32
+(* ------------------------------------------------------------------ *)
+(* Parallel execution: one process-wide domain pool                    *)
+
+let jobs_cell = ref None
+
+let jobs () =
+  match !jobs_cell with
+  | Some j -> j
+  | None ->
+      let j =
+        match Sys.getenv_opt "REPRO_JOBS" with
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some v when v >= 1 -> v
+            | _ -> Simcore.Pool.default_jobs ())
+        | None -> Simcore.Pool.default_jobs ()
+      in
+      jobs_cell := Some j;
+      j
+
+let pool_cell = ref None
+
+let shutdown_pool () =
+  match !pool_cell with
+  | None -> ()
+  | Some p ->
+      pool_cell := None;
+      Simcore.Pool.shutdown p
+
+let set_jobs j =
+  let j = max 1 j in
+  if !jobs_cell <> Some j then begin
+    shutdown_pool ();
+    jobs_cell := Some j
+  end
+
+let pool () =
+  match !pool_cell with
+  | Some p -> p
+  | None ->
+      let p = Simcore.Pool.create ~jobs:(jobs ()) in
+      pool_cell := Some p;
+      p
+
+let par_iter f xs = Simcore.Pool.iter (pool ()) ~f xs
+let par_map f xs = Simcore.Pool.map (pool ()) ~f xs
+let prefetch thunks = par_iter (fun f -> f ()) thunks
+
+(* ------------------------------------------------------------------ *)
+(* Compute-once trace / run caches                                     *)
+
+let trace_cache : (string, Workload.Trace.t) Simcore.Memo.t =
+  Simcore.Memo.create ~size:32 ()
 
 let trace profile load =
   let key =
     Printf.sprintf "%s/%s" profile.Workload.Month_profile.label
       (load_label load)
   in
-  match Hashtbl.find_opt trace_cache key with
-  | Some t -> t
-  | None ->
+  Simcore.Memo.get trace_cache key (fun () ->
       let base =
         let config =
           { Workload.Generator.default_config with
@@ -57,17 +116,14 @@ let trace profile load =
         in
         Workload.Generator.month ~config profile
       in
-      let t =
-        match load with
-        | Original -> base
-        | Rho r ->
-            Workload.Trace.scale_load base
-              ~capacity:Workload.Month_profile.capacity ~target:r
-      in
-      Hashtbl.add trace_cache key t;
-      t
+      match load with
+      | Original -> base
+      | Rho r ->
+          Workload.Trace.scale_load base
+            ~capacity:Workload.Month_profile.capacity ~target:r)
 
-let run_cache : (string, Sim.Run.t) Hashtbl.t = Hashtbl.create 64
+let run_cache : (string, Sim.Run.t) Simcore.Memo.t =
+  Simcore.Memo.create ~size:64 ()
 
 let simulate ~policy_key ~policy ~r_star profile load =
   let key =
@@ -76,14 +132,22 @@ let simulate ~policy_key ~policy ~r_star profile load =
       (Sim.Engine.r_star_name r_star)
       policy_key
   in
-  match Hashtbl.find_opt run_cache key with
-  | Some r -> r
-  | None ->
-      let r =
-        Sim.Run.simulate ~r_star ~policy:(policy ()) (trace profile load)
-      in
-      Hashtbl.add run_cache key r;
-      r
+  Simcore.Memo.get run_cache key (fun () ->
+      Sim.Run.simulate ~r_star ~policy:(policy ()) (trace profile load))
+
+let reset_caches () =
+  Simcore.Memo.clear trace_cache;
+  Simcore.Memo.clear run_cache;
+  reset_scale ();
+  reset_seed ();
+  reset_months ()
+
+let prefetch_runs ~months policies =
+  prefetch
+    (List.concat_map
+       (fun (_, runner) ->
+         List.map (fun m () -> ignore (runner m : Sim.Run.t)) months)
+       policies)
 
 let fcfs_run ~r_star profile load =
   simulate ~policy_key:"FCFS-backfill"

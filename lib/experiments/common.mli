@@ -9,7 +9,14 @@
 
     Traces and simulation runs are memoized per process so that every
     figure sharing a (month, load, policy, estimator) combination pays
-    for it once. *)
+    for it once.  The memo tables are domain-safe and compute-once
+    ([Simcore.Memo]): concurrent requests for one key force the policy
+    thunk and run the simulation exactly once, everyone else blocks on
+    the promise.  Figure harnesses enumerate their run sets up front
+    and warm the cache through a shared domain pool ([prefetch] /
+    [prefetch_runs]); formatting then reads the warm cache
+    sequentially, so output is byte-identical for every [jobs]
+    setting. *)
 
 type load = Original | Rho of float
 
@@ -18,6 +25,49 @@ val load_label : load -> string
 val scale : unit -> float
 val seed : unit -> int
 val months : unit -> Workload.Month_profile.t list
+
+(** {2 Parallel execution}
+
+    One process-wide domain pool, sized by the [REPRO_JOBS] environment
+    variable (or a [-j] flag via [set_jobs]; default:
+    [Domain.recommended_domain_count () - 1], at least 1).  [jobs = 1]
+    preserves the sequential path exactly: no domain is spawned and
+    work runs in submission order in the caller. *)
+
+val jobs : unit -> int
+(** The resolved concurrency width. *)
+
+val set_jobs : int -> unit
+(** Override the width (clamped to >= 1); shuts down and re-creates
+    the shared pool on the next use if the width changed. *)
+
+val pool : unit -> Simcore.Pool.t
+(** The shared pool, created on first use. *)
+
+val shutdown_pool : unit -> unit
+(** Join the pool's worker domains (recreated on next [pool ()]). *)
+
+val par_iter : ('a -> unit) -> 'a list -> unit
+val par_map : ('a -> 'b) -> 'a list -> 'b list
+(** Run over the shared pool; [par_map] preserves input order. *)
+
+val prefetch : (unit -> unit) list -> unit
+(** Execute a plan — the enumerated run set of a figure — through the
+    pool.  Thunks typically force [trace]/[simulate] cache entries;
+    the compute-once tables absorb duplicates between overlapping
+    plans. *)
+
+val prefetch_runs :
+  months:Workload.Month_profile.t list ->
+  (string * (Workload.Month_profile.t -> Sim.Run.t)) list ->
+  unit
+(** [prefetch_runs ~months policies] warms the run cache for the full
+    (policy x month) grid of a figure panel. *)
+
+val reset_caches : unit -> unit
+(** Drop the trace/run caches and re-read the [REPRO_*] environment
+    knobs on next use.  For harnesses that rerun experiments in-process
+    (determinism tests, perf measurement); not needed in normal runs. *)
 
 val trace : Workload.Month_profile.t -> load -> Workload.Trace.t
 (** Generated (and, for [Rho r], load-scaled) trace; memoized. *)

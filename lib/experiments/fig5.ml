@@ -13,6 +13,7 @@ let run fmt =
         Fig3.policies ~load:(Common.Rho 0.9) ~r_star:Sim.Engine.Actual
           ~budget:(fun _ -> 1000)
       in
+      Common.prefetch_runs ~months:[ month ] policies;
       List.iter
         (fun (name, runner) ->
           let run = runner month in

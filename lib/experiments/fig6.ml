@@ -1,4 +1,6 @@
-let budgets =
+(* read per call, not at module init, so harnesses can re-point
+   REPRO_MAXL in-process (perf-json quick config, determinism tests) *)
+let budgets () =
   let all = [ 1000; 2000; 4000; 8000; 10_000; 100_000 ] in
   match Sys.getenv_opt "REPRO_MAXL" with
   | None -> all
@@ -21,25 +23,31 @@ let run fmt =
       Format.fprintf fmt "1/04 not in REPRO_MONTHS selection; skipped.@."
   | Some month ->
       let r_star = Sim.Engine.Actual in
-      let threshold = Common.fcfs_max_threshold ~r_star month load in
-      let runs =
+      (* the run set as data: one entry per L plus the two baselines *)
+      let plan =
         List.map
           (fun budget ->
             let config = Core.Search_policy.dds_lxf_dynb ~budget in
             ( Printf.sprintf "L=%dK" (budget / 1000),
-              Common.simulate
-                ~policy_key:(Core.Search_policy.name config)
-                ~policy:(Common.search_policy config)
-                ~r_star month load ))
-          budgets
+              fun () ->
+                Common.simulate
+                  ~policy_key:(Core.Search_policy.name config)
+                  ~policy:(Common.search_policy config)
+                  ~r_star month load ))
+          (budgets ())
         @ [
-            ("FCFS-BF", Common.fcfs_run ~r_star month load);
+            ("FCFS-BF", fun () -> Common.fcfs_run ~r_star month load);
             ( "LXF-BF",
-              Common.simulate ~policy_key:"LXF-backfill"
-                ~policy:(fun () -> Sched.Backfill.lxf)
-                ~r_star month load );
+              fun () ->
+                Common.simulate ~policy_key:"LXF-backfill"
+                  ~policy:(fun () -> Sched.Backfill.lxf)
+                  ~r_star month load );
           ]
       in
+      Common.prefetch
+        (List.map (fun (_, force) () -> ignore (force () : Sim.Run.t)) plan);
+      let threshold = Common.fcfs_max_threshold ~r_star month load in
+      let runs = List.map (fun (label, force) -> (label, force ())) plan in
       Format.fprintf fmt "%-10s %12s %10s %10s %10s@." "L"
         "totExcess(h)" "maxWait(h)" "avgWait(h)" "avgBsld";
       List.iter

@@ -3,6 +3,6 @@
 
 val run : Format.formatter -> unit
 
-val budgets : int list
+val budgets : unit -> int list
 (** The swept budgets; [REPRO_MAXL] truncates the sweep (e.g.
     REPRO_MAXL=10000 drops the 100K point for quick runs). *)

@@ -39,10 +39,7 @@ let synthetic_state ?(n_waiting = 30) ?backtrack ~seed () =
   Core.Search_state.create ?backtrack ~now ~profile ~jobs:ordered ~durations
     ~thresholds ()
 
-(* Monotonic wall-clock interval in seconds.  [Unix.gettimeofday] can
-   jump under NTP adjustment mid-measurement; the bechamel clock
-   cannot. *)
-let monotonic_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+let monotonic_s = Simcore.Clock.monotonic_s
 
 let time_one ?n_waiting ?backtrack ~budget ~seed () =
   let state = synthetic_state ?n_waiting ?backtrack ~seed () in

@@ -1,7 +1,7 @@
 (** Scheduling overhead (Section 2.3): wall-clock time to visit
     1K - 8K nodes in a tree of 30 waiting jobs.  The paper's Java
     simulator took 30-65 ms on a 2 GHz Pentium 4.  All timing uses
-    bechamel's monotonic clock, never [Unix.gettimeofday]. *)
+    the monotonic clock ([Simcore.Clock]), never [Unix.gettimeofday]. *)
 
 val synthetic_state :
   ?n_waiting:int ->

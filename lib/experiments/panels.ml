@@ -1,4 +1,7 @@
 let table fmt ~title ~months ~policies ~value =
+  (* warm the run cache for the whole grid through the domain pool;
+     the formatting loop below then only does cache lookups *)
+  Common.prefetch_runs ~months policies;
   Format.fprintf fmt "@.-- %s --@." title;
   Format.fprintf fmt "%-26s" "policy";
   List.iter

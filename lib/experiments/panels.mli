@@ -1,5 +1,10 @@
 (** Rendering of the paper's per-month bar-chart panels as tables:
-    one column per month, one row per policy. *)
+    one column per month, one row per policy.
+
+    [table] first submits the full (policy x month) run grid to the
+    shared domain pool ([Common.prefetch_runs]) and then formats from
+    the warm cache, so rendering is deterministic for every jobs
+    setting. *)
 
 val table :
   Format.formatter ->

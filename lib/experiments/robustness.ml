@@ -4,31 +4,51 @@ let scenario ~seed ~rho =
   let base = Workload.Model.generate ~seed ~days () in
   Workload.Trace.scale_load base ~capacity:128 ~target:rho
 
-let policies () =
+(* (name, fresh policy instance) — search policies carry per-run
+   mutable state, so each simulation must force its own. *)
+let policies =
   [
-    ("FCFS-backfill", Sched.Backfill.fcfs);
-    ("LXF-backfill", Sched.Backfill.lxf);
+    ("FCFS-backfill", fun () -> Sched.Backfill.fcfs);
+    ("LXF-backfill", fun () -> Sched.Backfill.lxf);
     ( "DDS/lxf/dynB",
-      fst (Core.Search_policy.policy (Core.Search_policy.dds_lxf_dynb ~budget:1000)) );
+      fun () ->
+        fst
+          (Core.Search_policy.policy
+             (Core.Search_policy.dds_lxf_dynb ~budget:1000)) );
   ]
 
 let run fmt =
   Common.section fmt ~id:"robustness"
     "Headline relationships on an uncalibrated parametric workload model";
   let scenarios =
-    [ ("seed=1 rho=0.85", scenario ~seed:1 ~rho:0.85);
-      ("seed=2 rho=0.90", scenario ~seed:2 ~rho:0.90);
-      ("seed=3 rho=0.95", scenario ~seed:3 ~rho:0.95) ]
+    [ ("seed=1 rho=0.85", (1, 0.85));
+      ("seed=2 rho=0.90", (2, 0.90));
+      ("seed=3 rho=0.95", (3, 0.95)) ]
+  in
+  (* plan: generate the scenario traces, then every (scenario, policy)
+     run, through the pool; formatting reads the results in order *)
+  let traces =
+    Common.par_map
+      (fun (label, (seed, rho)) -> (label, scenario ~seed ~rho))
+      scenarios
+  in
+  let results =
+    Common.par_map
+      (fun ((label, trace), (name, make_policy)) ->
+        ( label,
+          (name, Sim.Run.simulate ~r_star:Sim.Engine.Actual
+                   ~policy:(make_policy ()) trace) ))
+      (List.concat_map
+         (fun scenario -> List.map (fun p -> (scenario, p)) policies)
+         traces)
   in
   List.iter
     (fun (label, trace) ->
       Format.fprintf fmt "@.--- %s: %s ---@." label
         (Workload.Trace.concat_stats trace);
-      let runs =
-        List.map
-          (fun (name, policy) ->
-            (name, Sim.Run.simulate ~r_star:Sim.Engine.Actual ~policy trace))
-          (policies ())
+      let runs = List.filter_map
+          (fun (l, r) -> if String.equal l label then Some r else None)
+          results
       in
       let agg name = (List.assoc name runs).Sim.Run.aggregate in
       Format.fprintf fmt "%-16s %9s %9s %9s@." "policy" "avgW(h)" "maxW(h)"
@@ -56,4 +76,4 @@ let run fmt =
       check "DDS slowdown < FCFS slowdown"
         (dds.Metrics.Aggregate.avg_bounded_slowdown
         < fcfs.Metrics.Aggregate.avg_bounded_slowdown))
-    scenarios
+    traces

@@ -29,17 +29,28 @@ let run fmt =
                (Core.Search_policy.dds_lxf_dynb ~budget:1000)) );
     ]
   in
+  (* plan: traces per seed, then every (seed, policy) run, via the pool *)
+  let traces =
+    Common.par_map (fun seed -> (seed, trace_for seed)) seeds
+  in
+  let results =
+    Common.par_map
+      (fun ((seed, trace), (name, make)) ->
+        ( seed,
+          ( name,
+            Sim.Run.simulate ~r_star:Sim.Engine.Actual ~policy:(make ())
+              trace ) ))
+      (List.concat_map
+         (fun st -> List.map (fun p -> (st, p)) policies)
+         traces)
+  in
   let all_pass = ref true in
   List.iter
     (fun seed ->
-      let trace = trace_for seed in
       let runs =
-        List.map
-          (fun (name, make) ->
-            ( name,
-              Sim.Run.simulate ~r_star:Sim.Engine.Actual ~policy:(make ())
-                trace ))
-          policies
+        List.filter_map
+          (fun (s, r) -> if s = seed then Some r else None)
+          results
       in
       Format.fprintf fmt "@.seed %d:@." seed;
       Format.fprintf fmt "%-16s %9s %9s %9s@." "policy" "avgW(h)" "maxW(h)"

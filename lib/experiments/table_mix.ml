@@ -10,6 +10,12 @@ let run fmt =
   Format.fprintf fmt
     "Columns: node ranges 1 | 2 | 3-4 | 5-8 | 9-16 | 17-32 | 33-64 | 65-128@.";
   let months = Common.months () in
+  (* generate all month traces in parallel; the report loops below
+     format from the warm trace cache *)
+  Common.prefetch
+    (List.map
+       (fun m () -> ignore (Common.trace m Common.Original : Workload.Trace.t))
+       months);
   Format.fprintf fmt "@.--- Table 3: %% of jobs per node-size range ---@.";
   List.iter
     (fun m ->

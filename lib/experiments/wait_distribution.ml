@@ -8,6 +8,7 @@ let run fmt =
   let policies =
     Fig3.policies ~load ~r_star:Sim.Engine.Actual ~budget:Fig4.budget_for
   in
+  Common.prefetch_runs ~months policies;
   List.iter
     (fun m ->
       Format.fprintf fmt "@.--- %s ---@." m.Workload.Month_profile.label;

@@ -30,9 +30,9 @@ let utilization_of ~machine ~from_ ~upto outcomes =
   end
 
 let simulate ?(machine = Cluster.Machine.titan) ~r_star ~policy trace =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Simcore.Clock.monotonic_s () in
   let result = Engine.run ~machine ~r_star ~policy trace in
-  let wall_clock = Unix.gettimeofday () -. t0 in
+  let wall_clock = Simcore.Clock.monotonic_s () -. t0 in
   let measured =
     List.filter
       (fun (o : Metrics.Outcome.t) -> Workload.Trace.in_window trace o.job)

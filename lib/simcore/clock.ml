@@ -1,0 +1,1 @@
+let monotonic_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9

@@ -1,0 +1,9 @@
+(** Monotonic wall-clock time for interval measurement.
+
+    [Unix.gettimeofday] can jump (NTP adjustment, manual clock set)
+    mid-measurement; the monotonic clock cannot.  Use this for every
+    elapsed-time measurement in the repo — simulated time is a separate
+    axis and never touches a real clock. *)
+
+val monotonic_s : unit -> float
+(** Seconds since an arbitrary fixed origin; strictly for differences. *)

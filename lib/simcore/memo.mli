@@ -1,0 +1,27 @@
+(** Domain-safe, compute-once memo table.
+
+    [get t key thunk] returns the cached value for [key], forcing
+    [thunk] at most once per key across all domains: the first caller
+    computes (outside any table-wide lock, so distinct keys compute in
+    parallel) while concurrent callers for the same key block until the
+    value — or the exception — is ready.  A raising thunk is also
+    recorded once; every caller for that key re-raises the same
+    exception (the table's thunks are deterministic, so retrying could
+    only fail identically). *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+(** [size] is the initial hash-table capacity (default 64). *)
+
+val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** [None] if the key is absent, still computing, or failed. *)
+
+val length : ('k, 'v) t -> int
+(** Number of keys present (including in-flight and failed ones). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every binding.  In-flight computations complete normally for
+    callers already attached to them, but later [get]s recompute. *)

@@ -26,6 +26,8 @@ let () =
       ("metrics.export", Test_export.suite);
       ("sim.queueing-theory", Test_queueing_theory.suite);
       ("experiments.spec", Test_policy_spec.suite);
+      ("simcore.pool", Test_pool.suite);
+      ("experiments.parallel", Test_parallel_determinism.suite);
       ("fairshare", Test_fairshare.suite);
       ("cross-policy", Test_cross_policy.suite);
       ("edge-cases", Test_edge_cases.suite);
