@@ -13,6 +13,17 @@
                    (default: recommended_domain_count - 1; also -j N)
      REPRO_SKIP_MICRO=1  skip the bechamel microbenchmarks
 
+   Tracing (rides along with the tables):
+
+     --trace[=path]       record a per-decision event log for every
+                          simulation the experiments run and write it
+                          as JSONL (default bench.trace.jsonl), plus a
+                          Chrome trace_event view (<base>.chrome.json,
+                          simulated-time axis, deterministic) and the
+                          domain-pool worker spans
+                          (<base>.pool.json, wall-clock, NOT
+                          deterministic)
+
    Perf regression modes (instead of the tables):
 
      --perf-json [path]   measure search throughput (nodes/ms, trail
@@ -41,9 +52,8 @@ let selected () =
       |> List.map String.trim
       |> List.filter_map Experiments.Registry.find
 
-(* One failing experiment must not kill the whole regeneration (e.g.
-   the known Predicted-estimator oversubscription at small scales).
-   The exception text is deterministic, so guarded output stays
+(* One failing experiment must not kill the whole regeneration.  The
+   exception text is deterministic, so guarded output stays
    byte-identical between sequential and parallel renders. *)
 let run_guarded e fmt =
   try e.Experiments.Registry.run fmt
@@ -248,6 +258,44 @@ let wallclock_entries () =
   @ List.map (fun (id, s) -> (Printf.sprintf "wall_%s_seq_s" id, s)) per_seq
   @ List.map (fun (id, s) -> (Printf.sprintf "wall_%s_par_s" id, s)) per_par
 
+(* Decision-level telemetry aggregates: one traced run of the headline
+   policy on the first quick-config month.  Guards the probe plumbing
+   itself — a silent probe regression would zero these fields. *)
+let telemetry_entries () =
+  Experiments.Common.set_tracing true;
+  Experiments.Common.reset_caches ();
+  let month = List.hd (Experiments.Common.months ()) in
+  let run =
+    Experiments.Common.simulate ~policy_key:"DDS/lxf/dynB(L=1K)"
+      ~policy:(Experiments.Common.dds_lxf_dynb ~budget:1000)
+      ~r_star:Sim.Engine.Actual month Experiments.Common.Original
+  in
+  Experiments.Common.set_tracing false;
+  match run.Sim.Run.log with
+  | None -> []
+  | Some log ->
+      let searched =
+        List.filter
+          (fun d -> d.Sim.Decision_log.budget > 0)
+          (Sim.Decision_log.decisions log)
+      in
+      let field f = Array.of_list (List.map f searched) in
+      let nodes = field (fun d -> float_of_int d.Sim.Decision_log.nodes) in
+      let improvements =
+        field (fun d -> float_of_int d.Sim.Decision_log.improvements)
+      in
+      let mean a =
+        if Array.length a = 0 then 0.0
+        else Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+      in
+      let pct a p =
+        if Array.length a = 0 then 0.0 else Simcore.Stats.percentile a p
+      in
+      [ ("telemetry_decisions", float_of_int (List.length searched));
+        ("telemetry_nodes_p50", pct nodes 50.0);
+        ("telemetry_nodes_p99", pct nodes 99.0);
+        ("telemetry_improvements_per_decision", mean improvements) ]
+
 let perf_json path =
   (* warm up code paths and the branch predictor before measuring *)
   ignore (Experiments.Overhead.nodes_per_ms ~repeats:5 ~budget:8000 ());
@@ -267,16 +315,19 @@ let perf_json path =
       ("micro_copy_into_ns", ols_ns micro_copy_into) ]
   in
   let wall = wallclock_entries () in
+  let telemetry = telemetry_entries () in
   let fields =
     List.map (fun (k, v) -> (k, Printf.sprintf "%.1f" v)) (List.rev !entries)
     @ List.map (fun (k, v) -> (k, Printf.sprintf "%.1f" v)) micro
     @ List.map (fun (k, v) -> (k, Printf.sprintf "%.3f" v)) wall
+    @ List.map (fun (k, v) -> (k, Printf.sprintf "%.2f" v)) telemetry
   in
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"search_hotpath/2\",\n";
+  Printf.fprintf oc "  \"schema\": \"search_hotpath/3\",\n";
   Printf.fprintf oc
-    "  \"unit\": \"nodes_per_ms (grid), ns (micro), s (wall)\",\n";
+    "  \"unit\": \"nodes_per_ms (grid), ns (micro), s (wall), counts \
+     (telemetry)\",\n";
   Printf.fprintf oc "  \"bench\": \"DDS/lxf on the synthetic 128-node decision point\",\n";
   let rec emit = function
     | [] -> ()
@@ -367,8 +418,10 @@ let perf_smoke path =
       parallel_determinism_smoke ();
       Printf.printf "perf-smoke: OK\n"
 
-(* Consume "-j N" / "--jobs N" anywhere on the command line; the rest
-   is matched positionally below. *)
+(* Consume "-j N" / "--jobs N" / "--trace[=path]" anywhere on the
+   command line; the rest is matched positionally below. *)
+let trace_path = ref None
+
 let prescan_jobs argv =
   let rec go acc = function
     | [] -> List.rev acc
@@ -383,25 +436,89 @@ let prescan_jobs argv =
     | ("-j" | "--jobs") :: [] ->
         prerr_endline "-j needs a value";
         exit 2
+    | "--trace" :: rest ->
+        trace_path := Some "bench.trace.jsonl";
+        go acc rest
+    | a :: rest when String.length a > 8 && String.sub a 0 8 = "--trace=" ->
+        trace_path := Some (String.sub a 8 (String.length a - 8));
+        go acc rest
     | a :: rest -> go (a :: acc) rest
   in
   Array.of_list (go [] (Array.to_list argv))
 
+(* Write the three trace artifacts next to [path]: the decision JSONL
+   and its Chrome view (simulated time, byte-identical for any
+   REPRO_JOBS) plus the pool worker spans (wall-clock, for eyeballing
+   parallel efficiency only). *)
+let write_traces path =
+  let base =
+    match Filename.chop_suffix_opt ~suffix:".jsonl" path with
+    | Some b -> b
+    | None -> path
+  in
+  let oc = open_out path in
+  let ofmt = Format.formatter_of_out_channel oc in
+  Experiments.Common.pp_traces ofmt;
+  Format.pp_print_flush ofmt ();
+  close_out oc;
+  let chrome_path = base ^ ".chrome.json" in
+  let oc = open_out chrome_path in
+  output_string oc (Experiments.Common.chrome_trace_document ());
+  close_out oc;
+  let pool_path = base ^ ".pool.json" in
+  let oc = open_out pool_path in
+  let spans = Simcore.Pool.spans (Experiments.Common.pool ()) in
+  let t0 =
+    List.fold_left
+      (fun acc s -> Float.min acc s.Simcore.Pool.Span.posted_s)
+      infinity spans
+  in
+  output_string oc "{\"traceEvents\":[\n";
+  output_string oc
+    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+     \"args\":{\"name\":\"domain pool (wall clock)\"}}";
+  List.iter
+    (fun s ->
+      Printf.fprintf oc
+        ",\n\
+         {\"name\":\"task\",\"cat\":\"pool\",\"ph\":\"X\",\"pid\":0,\
+         \"tid\":%d,\"ts\":%.0f,\"dur\":%.0f,\"args\":{\"batch\":%d,\
+         \"task\":%d,\"wait_ms\":%.3f}}"
+        s.Simcore.Pool.Span.domain
+        ((s.Simcore.Pool.Span.start_s -. t0) *. 1e6)
+        (Simcore.Pool.Span.busy_s s *. 1e6)
+        s.Simcore.Pool.Span.batch s.Simcore.Pool.Span.task
+        (Simcore.Pool.Span.wait_s s *. 1e3))
+    spans;
+  output_string oc "\n]}\n";
+  close_out oc;
+  let traced = List.length (Experiments.Common.traced_runs ()) in
+  Printf.printf "wrote %s (%d traced runs), %s, %s (%d pool spans)\n" path
+    traced chrome_path pool_path (List.length spans)
+
 let () =
   let fmt = Format.std_formatter in
-  (match prescan_jobs Sys.argv with
+  let argv = prescan_jobs Sys.argv in
+  (match !trace_path with
+  | None -> ()
+  | Some _ ->
+      Experiments.Common.set_tracing true;
+      Simcore.Pool.set_tracing (Experiments.Common.pool ()) true);
+  (match argv with
   | [| _ |] ->
       let t0 = Simcore.Clock.monotonic_s () in
       run_experiments fmt;
       if Sys.getenv_opt "REPRO_SKIP_MICRO" = None then microbench fmt;
       Format.fprintf fmt "@.total bench time: %.1fs@."
-        (Simcore.Clock.monotonic_s () -. t0)
+        (Simcore.Clock.monotonic_s () -. t0);
+      Option.iter write_traces !trace_path
   | [| _; "--perf-json" |] -> perf_json "BENCH_search_hotpath.json"
   | [| _; "--perf-json"; path |] -> perf_json path
   | [| _; "--perf-smoke" |] -> perf_smoke "BENCH_search_hotpath.json"
   | [| _; "--perf-smoke"; path |] -> perf_smoke path
   | _ ->
       prerr_endline
-        "usage: main.exe [-j N] [--perf-json [path] | --perf-smoke [path]]";
+        "usage: main.exe [-j N] [--trace[=path]] [--perf-json [path] | \
+         --perf-smoke [path]]";
       exit 2);
   Experiments.Common.shutdown_pool ()

@@ -38,10 +38,19 @@ let remove t ~id =
 
 let entries t = Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
 
+(* A job that outlives its estimate (possible only with an
+   undershooting predictor, R*=pred) still holds its nodes: report its
+   release as [overdue_grace] after [now].  The grace must be strictly
+   larger than any start-now tolerance a policy applies (the search's
+   [Search_state.start_now_set] uses 1e-6 s), or a policy will try to
+   start a job on nodes that are still physically occupied and the
+   engine will reject the start as oversubscription. *)
+let overdue_grace = 1e-3
+
 let releases t ~now =
   Hashtbl.fold
     (fun _ e acc ->
-      let finish = Float.max e.est_finish (now +. 1e-6) in
+      let finish = Float.max e.est_finish (now +. overdue_grace) in
       (finish, e.job.Workload.Job.nodes) :: acc)
     t.table []
 

@@ -35,8 +35,11 @@ val entries : t -> entry list
 
 val releases : t -> now:float -> (float * int) list
 (** [(estimated end, nodes)] pairs for profile construction; estimated
-    ends already in the past are reported as just after [now] (a job
-    that outlives its estimate still holds its nodes). *)
+    ends already in the past are reported as a 1 ms grace after [now]
+    (a job that outlives its estimate still holds its nodes).  The
+    grace is strictly wider than every policy's start-now tolerance,
+    so no policy can be tricked into starting a job on nodes an
+    overdue job still occupies. *)
 
 val next_finish : t -> float option
 (** Earliest true completion time among running jobs. *)

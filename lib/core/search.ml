@@ -20,11 +20,14 @@ exception Budget_spent
 
 type driver = {
   state : Search_state.t;
+  algorithm : algorithm;
   n : int;
   budget : int;
   prune : bool;
+  probe : Simcore.Telemetry.Probe.t option;
   mutable enforce_budget : bool;
   mutable forced : int;  (* DDS: choice-depth of the forced discrepancy *)
+  mutable cur_iter : int;  (* discrepancy iteration being explored *)
   mutable best : Objective.t option;
   mutable best_order : int array;
   mutable best_starts : float array;
@@ -44,7 +47,17 @@ let record_leaf d =
     for depth = 0 to d.n - 1 do
       d.best_order.(depth) <- Search_state.chosen d.state ~depth;
       d.best_starts.(depth) <- Search_state.start_at d.state ~depth
-    done
+    done;
+    (* Telemetry sampling happens only here — an incumbent improvement
+       at a leaf — never per node; writes into a preallocated record. *)
+    match d.probe with
+    | None -> ()
+    | Some p ->
+        p.Simcore.Telemetry.Probe.improvements <-
+          p.Simcore.Telemetry.Probe.improvements + 1;
+        p.winner_iteration <- d.cur_iter;
+        p.winner_depth <-
+          (if d.algorithm = Dds && d.cur_iter >= 1 then d.forced else -1)
   end
 
 let check_budget d =
@@ -198,17 +211,21 @@ and dfs_each d depth job =
 
 let dfs_all d = dfs_go d 0
 
-let run ?(prune = false) algorithm ~budget state =
+let run ?(prune = false) ?probe algorithm ~budget state =
   let n = Search_state.job_count state in
   if n = 0 then invalid_arg "Search.run: no waiting jobs";
+  Option.iter Simcore.Telemetry.Probe.reset probe;
   let d =
     {
       state;
+      algorithm;
       n;
       budget;
       prune;
+      probe;
       enforce_budget = false;
       forced = 0;
+      cur_iter = 0;
       best = None;
       best_order = Array.make n (-1);
       best_starts = Array.make n 0.0;
@@ -229,19 +246,23 @@ let run ?(prune = false) algorithm ~budget state =
             (* The heuristic path was already visited; plain DFS re-walks
                it (its node count includes the repeat, as in any restart
                strategy). *)
+            d.cur_iter <- 1;
             dfs_all d
         | Lds ->
             for k = 1 to n - 1 do
+              d.cur_iter <- k;
               lds_iteration d k;
               incr iterations
             done
         | Lds_original ->
             for k = 1 to n - 1 do
+              d.cur_iter <- k;
               lds_original_iteration d k;
               incr iterations
             done
         | Dds ->
             for i = 1 to n - 1 do
+              d.cur_iter <- i;
               dds_iteration d i;
               incr iterations
             done
@@ -252,6 +273,15 @@ let run ?(prune = false) algorithm ~budget state =
   match d.best with
   | None -> assert false (* iteration 0 always records a leaf *)
   | Some best ->
+      (match probe with
+      | None -> ()
+      | Some p ->
+          p.Simcore.Telemetry.Probe.nodes <-
+            Search_state.nodes_visited state;
+          p.leaves <- d.leaves;
+          p.iterations <- !iterations;
+          p.budget <- budget;
+          p.exhausted <- !exhausted);
       {
         best;
         best_order = d.best_order;

@@ -37,9 +37,23 @@ type result = {
 }
 
 val run :
-  ?prune:bool -> algorithm -> budget:int -> Search_state.t -> result
+  ?prune:bool ->
+  ?probe:Simcore.Telemetry.Probe.t ->
+  algorithm ->
+  budget:int ->
+  Search_state.t ->
+  result
 (** [run algo ~budget state] searches and returns the best schedule.
     [prune] enables the branch-and-bound extension: subtrees whose
     partial objective already cannot beat the incumbent are skipped
     (sound because partial objectives are monotone).  Requires at least
-    one waiting job.  @raise Invalid_argument on an empty state. *)
+    one waiting job.  @raise Invalid_argument on an empty state.
+
+    [probe], when given, is reset and then filled with this run's
+    search effort: node/leaf/iteration counts, budget, the exhausted
+    flag, the number of incumbent improvements and the discrepancy
+    iteration (and, for DDS, forced choice-depth) of the final winner.
+    Probe writes happen only at incumbent improvements (leaf
+    boundaries) and once at the end of the run — never per
+    {!Search_state.place} — so the hot path stays allocation-free with
+    the probe on (enforced by the allocation test suite). *)

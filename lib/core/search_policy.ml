@@ -67,8 +67,8 @@ let state_of ?usage config (ctx : Sched.Policy.context) =
   Search_state.create ~secondary:config.goal ~now:ctx.now ~profile ~jobs
     ~durations ~thresholds ()
 
-let search config state =
-  let result = Search.run ~prune:config.prune config.algorithm
+let search ?probe config state =
+  let result = Search.run ~prune:config.prune ?probe config.algorithm
       ~budget:config.budget state
   in
   if config.local_search then
@@ -85,6 +85,9 @@ let policy config =
   let total_nodes = ref 0 in
   let total_leaves = ref 0 in
   let max_queue = ref 0 in
+  (* One preallocated probe per policy instance, overwritten at every
+     decision; the engine's decision log snapshots it after [decide]. *)
+  let probe = Simcore.Telemetry.Probe.create () in
   let usage =
     match config.fairshare with
     | None -> None
@@ -92,10 +95,13 @@ let policy config =
   in
   let decide (ctx : Sched.Policy.context) =
     match ctx.waiting with
-    | [] -> []
+    | [] ->
+        (* leave no stale effort behind for the decision log *)
+        Simcore.Telemetry.Probe.reset probe;
+        []
     | _ :: _ ->
         let state = state_of ?usage config ctx in
-        let result = search config state in
+        let result = search ~probe config state in
         incr decisions;
         total_nodes := !total_nodes + result.Search.nodes_visited;
         total_leaves := !total_leaves + result.Search.leaves_evaluated;
@@ -122,4 +128,6 @@ let policy config =
       max_queue = !max_queue;
     }
   in
-  (Sched.Policy.make ~name:(name config) ~decide, stats)
+  ( Sched.Policy.with_probe (Sched.Policy.make ~name:(name config) ~decide)
+      probe,
+    stats )

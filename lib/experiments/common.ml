@@ -125,6 +125,15 @@ let trace profile load =
 let run_cache : (string, Sim.Run.t) Simcore.Memo.t =
   Simcore.Memo.create ~size:64 ()
 
+(* Decision tracing: when on, every simulation computed into the run
+   cache carries a decision log keyed by its cache key; the log rides
+   in [Sim.Run.t], so cached runs keep their trace for later export.
+   Runs already cached when tracing is switched on stay untraced —
+   harnesses reset the caches when flipping the switch. *)
+let tracing_cell = ref false
+let set_tracing v = tracing_cell := v
+let tracing () = !tracing_cell
+
 let simulate ~policy_key ~policy ~r_star profile load =
   let key =
     Printf.sprintf "%s/%s/%s/%s" profile.Workload.Month_profile.label
@@ -133,7 +142,37 @@ let simulate ~policy_key ~policy ~r_star profile load =
       policy_key
   in
   Simcore.Memo.get run_cache key (fun () ->
-      Sim.Run.simulate ~r_star ~policy:(policy ()) (trace profile load))
+      let log =
+        if !tracing_cell then
+          Some (Sim.Decision_log.create ~policy:policy_key ())
+        else None
+      in
+      Sim.Run.simulate ?log ~r_star ~policy:(policy ()) (trace profile load))
+
+let traced_runs () =
+  Simcore.Memo.bindings run_cache
+  |> List.filter_map (fun (key, run) ->
+         Option.map (fun log -> (key, log)) run.Sim.Run.log)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_traces fmt =
+  List.iter (fun (key, log) -> Sim.Decision_log.pp_jsonl ~run:key fmt log)
+    (traced_runs ())
+
+let chrome_trace_document () =
+  let buf = Buffer.create (1 lsl 16) in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iteri
+    (fun i (key, log) ->
+      List.iter
+        (fun ev ->
+          if !first then first := false else Buffer.add_string buf ",\n";
+          Buffer.add_string buf ev)
+        (Sim.Decision_log.chrome_events ~run:key ~pid:(i + 1) log))
+    (traced_runs ());
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
 
 let reset_caches () =
   Simcore.Memo.clear trace_cache;

@@ -69,6 +69,29 @@ val reset_caches : unit -> unit
     knobs on next use.  For harnesses that rerun experiments in-process
     (determinism tests, perf measurement); not needed in normal runs. *)
 
+(** {2 Decision tracing}
+
+    When tracing is on, every simulation computed into the run cache
+    records a {!Sim.Decision_log.t} (one event per scheduling
+    decision) labelled by its cache key.  The exporters below list
+    runs in sorted-key order, so their output is byte-identical for
+    every [jobs] setting, exactly like rendered experiment output.
+    Flip the switch {e before} warming the cache (or after
+    [reset_caches]) — already-cached runs stay untraced. *)
+
+val set_tracing : bool -> unit
+val tracing : unit -> bool
+
+val traced_runs : unit -> (string * Sim.Decision_log.t) list
+(** Cached runs that carry a decision log, sorted by cache key. *)
+
+val pp_traces : Format.formatter -> unit
+(** JSONL ([decision_trace/1]) of every traced cached run. *)
+
+val chrome_trace_document : unit -> string
+(** One Chrome [{"traceEvents":[...]}] document over every traced
+    cached run (one pid per run, simulated-time axis). *)
+
 val trace : Workload.Month_profile.t -> load -> Workload.Trace.t
 (** Generated (and, for [Rho r], load-scaled) trace; memoized. *)
 

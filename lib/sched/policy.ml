@@ -5,9 +5,14 @@ type context = {
   r_star : Workload.Job.t -> float;
 }
 
-type t = { name : string; decide : context -> Workload.Job.t list }
+type t = {
+  name : string;
+  decide : context -> Workload.Job.t list;
+  probe : Simcore.Telemetry.Probe.t option;
+}
 
-let make ~name ~decide = { name; decide }
+let make ~name ~decide = { name; decide; probe = None }
+let with_probe t probe = { t with probe = Some probe }
 
 let profile_of ctx =
   let machine = Cluster.Running_set.machine ctx.running in

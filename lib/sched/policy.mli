@@ -21,9 +21,18 @@ type context = {
 type t = {
   name : string;
   decide : context -> Workload.Job.t list;
+  probe : Simcore.Telemetry.Probe.t option;
+      (** search-effort record the policy overwrites on every [decide]
+          ([None] for policies that do not search).  The engine
+          snapshots it into the decision log right after each
+          decision. *)
 }
 
 val make : name:string -> decide:(context -> Workload.Job.t list) -> t
+(** A policy without a probe ([probe = None]). *)
+
+val with_probe : t -> Simcore.Telemetry.Probe.t -> t
+(** Attach the search-effort record the policy's [decide] fills. *)
 
 val profile_of : context -> Cluster.Profile.t
 (** Availability profile implied by the running set at [ctx.now]. *)

@@ -16,7 +16,7 @@ type result = {
 
 type event = Arrival of Workload.Job.t | Finish of int
 
-let run ?(machine = Cluster.Machine.titan) ~r_star ~policy trace =
+let run ?(machine = Cluster.Machine.titan) ?log ~r_star ~policy trace =
   (* On-line predictor state (Predicted mode): running mean of the
      actual/requested ratio of completed jobs, seeded at 1.0 (trust the
      user until evidence accumulates). *)
@@ -99,6 +99,13 @@ let run ?(machine = Cluster.Machine.titan) ~r_star ~policy trace =
         in
         let to_start = policy.Sched.Policy.decide ctx in
         incr decisions;
+        (match log with
+        | None -> ()
+        | Some l ->
+            Decision_log.record l ~time:now
+              ~queue:(List.length ctx.Sched.Policy.waiting)
+              ~started:(List.length to_start)
+              ~probe:policy.Sched.Policy.probe);
         List.iter (start_job now) to_start;
         queue_samples :=
           { time = now; length = List.length !waiting } :: !queue_samples;

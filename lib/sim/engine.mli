@@ -36,12 +36,16 @@ type result = {
 
 val run :
   ?machine:Cluster.Machine.t ->
+  ?log:Decision_log.t ->
   r_star:r_star ->
   policy:Sched.Policy.t ->
   Workload.Trace.t ->
   result
 (** Simulate the whole trace to completion (default machine:
-    {!Cluster.Machine.titan}).
+    {!Cluster.Machine.titan}).  [log], when given, receives one
+    decision event per decision point: the simulated time, the queue
+    length the policy saw, the number of jobs it started, and the
+    policy's search-effort probe snapshot.
     @raise Invalid_argument if some job is wider than the machine or if
     the policy requests an invalid start. *)
 

@@ -20,10 +20,15 @@ type t = {
   queue_samples : Engine.queue_sample list;
       (** waiting-queue length after each decision (whole simulation),
           for backlog-dynamics analyses *)
+  log : Decision_log.t option;
+      (** per-decision event log, when the run was traced
+          ([simulate ?log]); rides along in the run caches so traced
+          experiment output can be exported after the fact *)
 }
 
 val simulate :
   ?machine:Cluster.Machine.t ->
+  ?log:Decision_log.t ->
   r_star:Engine.r_star ->
   policy:Sched.Policy.t ->
   Workload.Trace.t ->

@@ -59,6 +59,18 @@ let find_opt t key =
       Mutex.unlock cell.m;
       match s with Ready v -> Some v | Pending | Failed _ -> None)
 
+let bindings t =
+  Mutex.lock t.lock;
+  let cells = Hashtbl.fold (fun k cell acc -> (k, cell) :: acc) t.table [] in
+  Mutex.unlock t.lock;
+  List.filter_map
+    (fun (k, cell) ->
+      Mutex.lock cell.m;
+      let s = cell.state in
+      Mutex.unlock cell.m;
+      match s with Ready v -> Some (k, v) | Pending | Failed _ -> None)
+    cells
+
 let length t =
   Mutex.lock t.lock;
   let n = Hashtbl.length t.table in

@@ -1,7 +1,23 @@
+module Span = struct
+  type t = {
+    domain : int;
+    batch : int;
+    task : int;
+    posted_s : float;
+    start_s : float;
+    stop_s : float;
+  }
+
+  let wait_s s = s.start_s -. s.posted_s
+  let busy_s s = s.stop_s -. s.start_s
+end
+
 (* One batch of work.  Tasks are claimed by a fetch-and-add on [next];
    [completed] is guarded by the pool mutex so the submitter can wait
    for the last task under the same lock the workers signal on. *)
 type batch = {
+  seq : int;
+  posted_s : float;  (* 0.0 when tracing is off *)
   tasks : (unit -> unit) array;
   next : int Atomic.t;
   mutable completed : int;
@@ -16,20 +32,39 @@ type t = {
   mutable stop : bool;
   mutable joined : bool;
   mutable workers : unit Domain.t array;
+  mutable batch_seq : int;
+  mutable trace : bool;
+  mutable spans : Span.t list; (* newest first; guarded by [m] *)
 }
 
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 (* Run every still-unclaimed task of [b].  Tasks never raise (they are
    wrapped by [map]); each completion is recorded under the lock so the
-   final one can wake the submitter. *)
-let drain t b =
+   final one can wake the submitter.  [who] is the draining domain's
+   slot (0 = the submitting domain) for span attribution; with tracing
+   off the only overhead is one boolean test per task. *)
+let drain t ~who b =
   let n = Array.length b.tasks in
   let rec go () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < n then begin
+      let traced = t.trace in
+      let t0 = if traced then Clock.monotonic_s () else 0.0 in
       b.tasks.(i) ();
+      let t1 = if traced then Clock.monotonic_s () else 0.0 in
       Mutex.lock t.m;
+      if traced then
+        t.spans <-
+          {
+            Span.domain = who;
+            batch = b.seq;
+            task = i;
+            posted_s = b.posted_s;
+            start_s = t0;
+            stop_s = t1;
+          }
+          :: t.spans;
       b.completed <- b.completed + 1;
       if b.completed = n then Condition.broadcast t.batch_done;
       Mutex.unlock t.m;
@@ -38,7 +73,7 @@ let drain t b =
   in
   go ()
 
-let worker t =
+let worker t ~who =
   let rec loop () =
     Mutex.lock t.m;
     let rec await () =
@@ -55,7 +90,7 @@ let worker t =
     match claimed with
     | None -> ()
     | Some b ->
-        drain t b;
+        drain t ~who b;
         loop ()
   in
   loop ()
@@ -72,19 +107,42 @@ let create ~jobs =
       stop = false;
       joined = false;
       workers = [||];
+      batch_seq = 0;
+      trace = false;
+      spans = [];
     }
   in
-  t.workers <- Array.init (width - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    Array.init (width - 1) (fun i ->
+        Domain.spawn (fun () -> worker t ~who:(i + 1)));
   t
 
 let jobs t = t.width
+
+let set_tracing t v =
+  Mutex.lock t.m;
+  t.trace <- v;
+  Mutex.unlock t.m
+
+let spans t =
+  Mutex.lock t.m;
+  let spans = t.spans in
+  Mutex.unlock t.m;
+  List.sort
+    (fun (a : Span.t) (b : Span.t) ->
+      compare (a.batch, a.task) (b.batch, b.task))
+    spans
+
+let clear_spans t =
+  Mutex.lock t.m;
+  t.spans <- [];
+  Mutex.unlock t.m
 
 (* Post [tasks], take part in running them, and wait for stragglers.
    Batches are serialized on [current]. *)
 let run_batch t tasks =
   let n = Array.length tasks in
   if n > 0 then begin
-    let b = { tasks; next = Atomic.make 0; completed = 0 } in
     Mutex.lock t.m;
     if t.stop then begin
       Mutex.unlock t.m;
@@ -93,10 +151,20 @@ let run_batch t tasks =
     while t.current <> None do
       Condition.wait t.batch_done t.m
     done;
+    let b =
+      {
+        seq = t.batch_seq;
+        posted_s = (if t.trace then Clock.monotonic_s () else 0.0);
+        tasks;
+        next = Atomic.make 0;
+        completed = 0;
+      }
+    in
+    t.batch_seq <- t.batch_seq + 1;
     t.current <- Some b;
     Condition.broadcast t.work_available;
     Mutex.unlock t.m;
-    drain t b;
+    drain t ~who:0 b;
     Mutex.lock t.m;
     while b.completed < n do
       Condition.wait t.batch_done t.m

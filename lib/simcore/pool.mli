@@ -19,6 +19,22 @@
 
 type t
 
+module Span : sig
+  type t = {
+    domain : int;  (** draining slot: 0 = submitting domain, 1.. = workers *)
+    batch : int;  (** batch sequence number (per pool) *)
+    task : int;  (** task index within the batch *)
+    posted_s : float;  (** monotonic time the batch was posted *)
+    start_s : float;  (** monotonic time the task started running *)
+    stop_s : float;  (** monotonic time the task finished *)
+  }
+
+  val wait_s : t -> float
+  (** Queue wait: batch post to task start. *)
+
+  val busy_s : t -> float
+end
+
 val create : jobs:int -> t
 (** [create ~jobs] spawns [max jobs 1 - 1] worker domains.  The pool
     must eventually be released with [shutdown] (idle workers block in
@@ -40,6 +56,19 @@ val map : t -> f:('a -> 'b) -> 'a list -> 'b list
 
 val iter : t -> f:('a -> unit) -> 'a list -> unit
 (** [iter t ~f xs] is [map] with unit results. *)
+
+val set_tracing : t -> bool -> unit
+(** Turn per-task span recording on or off (initially off).  With
+    tracing off the per-task overhead is one boolean test; with it on,
+    each task records a {!Span.t} (wall-clock, so spans are
+    inspection data — they are {e not} part of the deterministic
+    output surface). *)
+
+val spans : t -> Span.t list
+(** Recorded spans in (batch, task) order — deterministic listing
+    order even though the times inside are wall-clock. *)
+
+val clear_spans : t -> unit
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  Subsequent

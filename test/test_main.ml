@@ -27,6 +27,7 @@ let () =
       ("sim.queueing-theory", Test_queueing_theory.suite);
       ("experiments.spec", Test_policy_spec.suite);
       ("simcore.pool", Test_pool.suite);
+      ("simcore.telemetry", Test_telemetry.suite);
       ("experiments.parallel", Test_parallel_determinism.suite);
       ("fairshare", Test_fairshare.suite);
       ("cross-policy", Test_cross_policy.suite);

@@ -1,0 +1,183 @@
+(* Standalone validator for decision-trace artifacts (@trace-smoke).
+
+   No JSON library in the test stack, so this checks the line format
+   the exporters actually emit (Sim.Decision_log): a JSONL file is a
+   sequence of run headers each followed by its decision lines, with
+   counts, sequence numbers and timestamps consistent; a Chrome file is
+   one {"traceEvents":[...]} document.  Exit 0 on success, 1 with a
+   message on the first violation. *)
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+(* First occurrence of ["key":] in [line], position just past it. *)
+let find_field line key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let n = String.length line and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub line i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let field_raw ~file ~lineno line key =
+  match find_field line key with
+  | None -> fail "%s:%d: missing field %S" file lineno key
+  | Some i ->
+      let n = String.length line in
+      let stop = ref i in
+      while
+        !stop < n && (match line.[!stop] with ',' | '}' -> false | _ -> true)
+      do
+        incr stop
+      done;
+      String.sub line i (!stop - i)
+
+let field_int ~file ~lineno line key =
+  let raw = field_raw ~file ~lineno line key in
+  match int_of_string_opt raw with
+  | Some v -> v
+  | None -> fail "%s:%d: field %S is not an int: %s" file lineno key raw
+
+let field_float ~file ~lineno line key =
+  let raw = field_raw ~file ~lineno line key in
+  match float_of_string_opt raw with
+  | Some v -> v
+  | None -> fail "%s:%d: field %S is not a number: %s" file lineno key raw
+
+let field_bool ~file ~lineno line key =
+  match field_raw ~file ~lineno line key with
+  | "true" -> true
+  | "false" -> false
+  | raw -> fail "%s:%d: field %S is not a bool: %s" file lineno key raw
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let read_lines file =
+  let ic = try open_in file with Sys_error m -> fail "%s" m in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+(* --- JSONL (decision_trace/1) --- *)
+
+let validate_jsonl file =
+  let lines = read_lines file in
+  if lines = [] then fail "%s: empty trace" file;
+  (* per-run accumulator: expected decision count and running checks *)
+  let runs = ref 0 and decisions = ref 0 in
+  let expect = ref 0 (* decision lines owed by the current header *) in
+  let first_seq = ref 0 and next_seq = ref 0 and last_t = ref neg_infinity in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if not (starts_with "{" line && String.length line > 1) then
+        fail "%s:%d: not a JSON object line" file lineno;
+      match field_raw ~file ~lineno line "type" with
+      | "\"run\"" ->
+          if !expect > 0 then
+            fail "%s:%d: new run header but %d decisions still owed" file
+              lineno !expect;
+          let schema = field_raw ~file ~lineno line "schema" in
+          if schema <> Printf.sprintf "%S" Sim.Decision_log.schema then
+            fail "%s:%d: schema %s, want %S" file lineno schema
+              Sim.Decision_log.schema;
+          let recorded = field_int ~file ~lineno line "decisions" in
+          let retained = field_int ~file ~lineno line "retained" in
+          let dropped = field_int ~file ~lineno line "dropped" in
+          if recorded <> retained + dropped then
+            fail "%s:%d: decisions %d <> retained %d + dropped %d" file
+              lineno recorded retained dropped;
+          expect := retained;
+          first_seq := dropped;
+          next_seq := dropped;
+          last_t := neg_infinity;
+          incr runs
+      | "\"decision\"" ->
+          if !expect = 0 then
+            fail "%s:%d: decision line without a run header" file lineno;
+          decr expect;
+          incr decisions;
+          let seq = field_int ~file ~lineno line "seq" in
+          if seq <> !next_seq then
+            fail "%s:%d: seq %d, want %d" file lineno seq !next_seq;
+          incr next_seq;
+          let t = field_float ~file ~lineno line "t" in
+          if t < !last_t then
+            fail "%s:%d: time went backwards (%.3f after %.3f)" file lineno
+              t !last_t;
+          last_t := t;
+          let nonneg k =
+            if field_int ~file ~lineno line k < 0 then
+              fail "%s:%d: negative %S" file lineno k
+          in
+          List.iter nonneg
+            [ "queue"; "started"; "nodes"; "leaves"; "iters"; "budget";
+              "improvements" ];
+          let searched = field_bool ~file ~lineno line "searched" in
+          let budget = field_int ~file ~lineno line "budget" in
+          let nodes = field_int ~file ~lineno line "nodes" in
+          let improvements = field_int ~file ~lineno line "improvements" in
+          if budget > 0 && not searched then
+            fail "%s:%d: budget %d on an unsearched decision" file lineno
+              budget;
+          if budget > 0 && nodes < 1 then
+            fail "%s:%d: searched under budget %d but visited no node" file
+              lineno budget;
+          if budget > 0 && improvements < 1 then
+            fail
+              "%s:%d: searched decision without the heuristic incumbent"
+              file lineno;
+          ignore (field_bool ~file ~lineno line "exhausted")
+      | other -> fail "%s:%d: unknown line type %s" file lineno other)
+    lines;
+  if !expect > 0 then
+    fail "%s: truncated: last run owes %d decisions" file !expect;
+  Printf.printf "%s: OK (%d runs, %d decisions)\n" file !runs !decisions
+
+(* --- Chrome trace_event document --- *)
+
+let validate_chrome file =
+  let lines = read_lines file in
+  (match lines with
+  | first :: _ when starts_with "{\"traceEvents\":[" first -> ()
+  | _ -> fail "%s: not a traceEvents document" file);
+  let events = ref 0 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if starts_with "{\"name\":" line then begin
+        incr events;
+        match field_raw ~file ~lineno line "ph" with
+        | "\"X\"" ->
+            if field_float ~file ~lineno line "dur" < 0.0 then
+              fail "%s:%d: negative span duration" file lineno
+        | "\"M\"" | "\"C\"" -> ()
+        | ph -> fail "%s:%d: unexpected phase %s" file lineno ph
+      end)
+    lines;
+  if !events = 0 then fail "%s: no trace events" file;
+  Printf.printf "%s: OK (%d events)\n" file !events
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then fail "usage: validate_trace.exe FILE.jsonl|FILE.json ...";
+  List.iter
+    (fun file ->
+      let head =
+        let ic = try open_in file with Sys_error m -> fail "%s" m in
+        let n = min 16 (in_channel_length ic) in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      if starts_with "{\"traceEvents\"" head then validate_chrome file
+      else validate_jsonl file)
+    args
