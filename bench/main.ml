@@ -13,6 +13,14 @@
                    (default: recommended_domain_count - 1; also -j N)
      REPRO_SKIP_MICRO=1  skip the bechamel microbenchmarks
 
+   Validation (rides along with the tables):
+
+     --validate           validate every schedule the experiments
+                          simulate (Schedcheck: machine-level
+                          invariants, differential EASY backfill
+                          replay); print an aggregate summary and
+                          exit 1 on any violation
+
    Tracing (rides along with the tables):
 
      --trace[=path]       record a per-decision event log for every
@@ -418,9 +426,11 @@ let perf_smoke path =
       parallel_determinism_smoke ();
       Printf.printf "perf-smoke: OK\n"
 
-(* Consume "-j N" / "--jobs N" / "--trace[=path]" anywhere on the
-   command line; the rest is matched positionally below. *)
+(* Consume "-j N" / "--jobs N" / "--trace[=path]" / "--validate"
+   anywhere on the command line; the rest is matched positionally
+   below. *)
 let trace_path = ref None
+let validate_flag = ref false
 
 let prescan_jobs argv =
   let rec go acc = function
@@ -441,6 +451,9 @@ let prescan_jobs argv =
         go acc rest
     | a :: rest when String.length a > 8 && String.sub a 0 8 = "--trace=" ->
         trace_path := Some (String.sub a 8 (String.length a - 8));
+        go acc rest
+    | "--validate" :: rest ->
+        validate_flag := true;
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in
@@ -496,6 +509,25 @@ let write_traces path =
   Printf.printf "wrote %s (%d traced runs), %s, %s (%d pool spans)\n" path
     traced chrome_path pool_path (List.length spans)
 
+(* Aggregate the validation reports of every cached run; non-zero exit
+   on any violation so @check-smoke can gate on it. *)
+let report_validation fmt =
+  let reports = Experiments.Common.validation_reports () in
+  let bad =
+    List.filter
+      (fun (_, r) -> not (Schedcheck.Report.ok r))
+      reports
+  in
+  Format.fprintf fmt "@.validation: %d runs checked, %d with violations@."
+    (List.length reports) (List.length bad);
+  List.iter
+    (fun (key, r) -> Format.fprintf fmt "%s -> %a@." key Schedcheck.Report.pp r)
+    bad;
+  if bad <> [] then begin
+    Format.pp_print_flush fmt ();
+    exit 1
+  end
+
 let () =
   let fmt = Format.std_formatter in
   let argv = prescan_jobs Sys.argv in
@@ -504,6 +536,7 @@ let () =
   | Some _ ->
       Experiments.Common.set_tracing true;
       Simcore.Pool.set_tracing (Experiments.Common.pool ()) true);
+  if !validate_flag then Experiments.Common.set_validation true;
   (match argv with
   | [| _ |] ->
       let t0 = Simcore.Clock.monotonic_s () in
@@ -511,14 +544,17 @@ let () =
       if Sys.getenv_opt "REPRO_SKIP_MICRO" = None then microbench fmt;
       Format.fprintf fmt "@.total bench time: %.1fs@."
         (Simcore.Clock.monotonic_s () -. t0);
-      Option.iter write_traces !trace_path
+      Option.iter write_traces !trace_path;
+      (* Summary on stderr so @check-smoke can silence the tables and
+         still show it. *)
+      if !validate_flag then report_validation Format.err_formatter
   | [| _; "--perf-json" |] -> perf_json "BENCH_search_hotpath.json"
   | [| _; "--perf-json"; path |] -> perf_json path
   | [| _; "--perf-smoke" |] -> perf_smoke "BENCH_search_hotpath.json"
   | [| _; "--perf-smoke"; path |] -> perf_smoke path
   | _ ->
       prerr_endline
-        "usage: main.exe [-j N] [--trace[=path]] [--perf-json [path] | \
-         --perf-smoke [path]]";
+        "usage: main.exe [-j N] [--trace[=path]] [--validate] \
+         [--perf-json [path] | --perf-smoke [path]]";
       exit 2);
   Experiments.Common.shutdown_pool ()

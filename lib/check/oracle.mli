@@ -1,0 +1,47 @@
+(** Differential oracles: independent re-implementations to test the
+    optimized subsystems against.
+
+    Each oracle is deliberately naive — small enough to audit by eye —
+    and structurally different from the implementation it checks:
+
+    - {!enumerate_best} re-derives the optimal schedule objective by
+      evaluating {e every} job order with a fresh placement per path,
+      against which {!Core.Search}'s complete algorithms (DFS, LDS,
+      DDS) must agree exactly when exhausted;
+    - {!reference_backfill} re-plans an EASY backfill decision on a
+      plain busy-interval list (no availability profile, no segment
+      merging), against which {!Sched.Backfill.plan} must agree
+      exactly;
+    - the trail-vs-snapshot profile oracle lives in
+      {!Core.Search_state} itself (the [Snapshot] backtracking
+      strategy); the qcheck suites drive both strategies over
+      randomized workloads and compare visit sequences.
+
+    The qcheck suites in [test/test_check.ml] wire these to random
+    workload generators. *)
+
+val enumerate_best : Core.Search_state.t -> Core.Objective.t
+(** Best objective over all [n!] complete job orders, evaluated one
+    path at a time through {!Core.Tree_enum.all_paths}.  The state is
+    reset before and after.  Intended for tiny queues.
+    @raise Invalid_argument if the state has no jobs or more than 8
+    (factorial blow-up). *)
+
+type reference_plan = {
+  start_now : Workload.Job.t list;  (** decision order, like the real plan *)
+  reserved : (Workload.Job.t * float) list;
+}
+
+val reference_backfill :
+  reservations:int ->
+  priority:Sched.Priority.t ->
+  Sched.Policy.context ->
+  reference_plan
+(** Same contract as {!Sched.Backfill.plan}, computed naively: node
+    usage is a list of busy [(from, until, nodes)] intervals (running
+    jobs and carved reservations); a job fits at [t] iff at every
+    interval boundary within its span the summed overlap leaves enough
+    free nodes; the earliest start is found by trying [now] and every
+    interval boundary in increasing order.  Candidate starts are
+    boundaries in both implementations, so agreement is exact (same
+    floats), not approximate. *)

@@ -134,6 +134,14 @@ let tracing_cell = ref false
 let set_tracing v = tracing_cell := v
 let tracing () = !tracing_cell
 
+(* Schedule validation: same switch pattern as tracing.  When on, every
+   simulation computed into the run cache validates its finished
+   schedule (differentially for the EASY backfill family, by policy
+   name) and carries the report in [Sim.Run.t]. *)
+let validation_cell = ref false
+let set_validation v = validation_cell := v
+let validation () = !validation_cell
+
 let simulate ~policy_key ~policy ~r_star profile load =
   let key =
     Printf.sprintf "%s/%s/%s/%s" profile.Workload.Month_profile.label
@@ -147,12 +155,26 @@ let simulate ~policy_key ~policy ~r_star profile load =
           Some (Sim.Decision_log.create ~policy:policy_key ())
         else None
       in
-      Sim.Run.simulate ?log ~r_star ~policy:(policy ()) (trace profile load))
+      let policy = policy () in
+      let validate =
+        if !validation_cell then
+          Some
+            (Schedcheck.Validator.expectation_of_policy
+               policy.Sched.Policy.name)
+        else None
+      in
+      Sim.Run.simulate ?log ?validate ~r_star ~policy (trace profile load))
 
 let traced_runs () =
   Simcore.Memo.bindings run_cache
   |> List.filter_map (fun (key, run) ->
          Option.map (fun log -> (key, log)) run.Sim.Run.log)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let validation_reports () =
+  Simcore.Memo.bindings run_cache
+  |> List.filter_map (fun (key, run) ->
+         Option.map (fun report -> (key, report)) run.Sim.Run.validation)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let pp_traces fmt =

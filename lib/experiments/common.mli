@@ -92,6 +92,21 @@ val chrome_trace_document : unit -> string
 (** One Chrome [{"traceEvents":[...]}] document over every traced
     cached run (one pid per run, simulated-time axis). *)
 
+(** {2 Schedule validation}
+
+    Same switch pattern as tracing: when on, every simulation computed
+    into the run cache validates its finished schedule
+    ({!Schedcheck.Validator}) — differentially for the EASY backfill
+    family (selected by policy name), machine-level invariants for
+    everything else — and carries the {!Schedcheck.Report.t} in
+    {!Sim.Run.t}.  Flip the switch {e before} warming the cache. *)
+
+val set_validation : bool -> unit
+val validation : unit -> bool
+
+val validation_reports : unit -> (string * Schedcheck.Report.t) list
+(** Cached runs that carry a validation report, sorted by cache key. *)
+
 val trace : Workload.Month_profile.t -> load -> Workload.Trace.t
 (** Generated (and, for [Rho r], load-scaled) trace; memoized. *)
 

@@ -12,11 +12,13 @@ type result = {
   queue_samples : queue_sample list;
   decisions : int;
   horizon : float;
+  validation : Schedcheck.Report.t option;
 }
 
 type event = Arrival of Workload.Job.t | Finish of int
 
-let run ?(machine = Cluster.Machine.titan) ?log ~r_star ~policy trace =
+let run ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
+    trace =
   (* On-line predictor state (Predicted mode): running mean of the
      actual/requested ratio of completed jobs, seeded at 1.0 (trust the
      user until evidence accumulates). *)
@@ -112,11 +114,34 @@ let run ?(machine = Cluster.Machine.titan) ?log ~r_star ~policy trace =
         loop ()
   in
   loop ();
+  let outcomes = List.rev !outcomes in
+  let validation =
+    match validate with
+    | None -> None
+    | Some expect ->
+        (* The Predicted estimator is stateful (it learns as jobs
+           complete), so its profiles cannot be rebuilt after the fact:
+           keep the machine-level invariants, drop the differential. *)
+        let expect =
+          if r_star = Predicted then Schedcheck.Validator.Generic
+          else expect
+        in
+        let replay_r_star (j : Workload.Job.t) =
+          match r_star with
+          | Requested -> j.requested
+          | Actual | Predicted -> Float.min j.runtime j.requested
+        in
+        Some
+          (Schedcheck.Validator.validate ~machine ~expect
+             ~r_star:replay_r_star ~subject:policy.Sched.Policy.name ~trace
+             ~outcomes ())
+  in
   {
-    outcomes = List.rev !outcomes;
+    outcomes;
     queue_samples = List.rev !queue_samples;
     decisions = !decisions;
     horizon = !horizon;
+    validation;
   }
 
 let windowed_queue_average samples ~from_ ~upto =

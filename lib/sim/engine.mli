@@ -32,11 +32,14 @@ type result = {
       (** waiting-queue length after each decision, time order *)
   decisions : int;
   horizon : float;  (** time of the last event *)
+  validation : Schedcheck.Report.t option;
+      (** present iff [?validate] was given to {!run} *)
 }
 
 val run :
   ?machine:Cluster.Machine.t ->
   ?log:Decision_log.t ->
+  ?validate:Schedcheck.Validator.expectation ->
   r_star:r_star ->
   policy:Sched.Policy.t ->
   Workload.Trace.t ->
@@ -46,6 +49,14 @@ val run :
     decision event per decision point: the simulated time, the queue
     length the policy saw, the number of jobs it started, and the
     policy's search-effort probe snapshot.
+
+    [validate], when given, runs {!Schedcheck.Validator.validate} over
+    the finished schedule and stores the report in
+    [result.validation]; violations are reported as data, never
+    raised.  Validation is entirely off the simulation path — with
+    [?validate] unset no validator code runs.  Under [Predicted]
+    runtimes an [Easy_backfill] expectation is downgraded to [Generic]
+    (the stateful estimator cannot be replayed post-hoc).
     @raise Invalid_argument if some job is wider than the machine or if
     the policy requests an invalid start. *)
 

@@ -9,6 +9,7 @@ type t = {
   utilization : float;
   queue_samples : Engine.queue_sample list;
   log : Decision_log.t option;
+  validation : Schedcheck.Report.t option;
 }
 
 (* Busy node-seconds inside [from_, upto), over machine capacity. *)
@@ -30,9 +31,10 @@ let utilization_of ~machine ~from_ ~upto outcomes =
     busy /. (float_of_int machine.Cluster.Machine.nodes *. window)
   end
 
-let simulate ?(machine = Cluster.Machine.titan) ?log ~r_star ~policy trace =
+let simulate ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
+    trace =
   let t0 = Simcore.Clock.monotonic_s () in
-  let result = Engine.run ~machine ?log ~r_star ~policy trace in
+  let result = Engine.run ~machine ?log ?validate ~r_star ~policy trace in
   let wall_clock = Simcore.Clock.monotonic_s () -. t0 in
   let measured =
     List.filter
@@ -54,6 +56,7 @@ let simulate ?(machine = Cluster.Machine.titan) ?log ~r_star ~policy trace =
     wall_clock;
     queue_samples = result.Engine.queue_samples;
     log;
+    validation = result.Engine.validation;
     utilization =
       utilization_of ~machine
         ~from_:(Workload.Trace.measure_start trace)

@@ -24,11 +24,16 @@ type t = {
       (** per-decision event log, when the run was traced
           ([simulate ?log]); rides along in the run caches so traced
           experiment output can be exported after the fact *)
+  validation : Schedcheck.Report.t option;
+      (** schedule-validation report, when the run was validated
+          ([simulate ?validate]); rides along in the run caches like
+          [log] so the bench harness can aggregate reports *)
 }
 
 val simulate :
   ?machine:Cluster.Machine.t ->
   ?log:Decision_log.t ->
+  ?validate:Schedcheck.Validator.expectation ->
   r_star:Engine.r_star ->
   policy:Sched.Policy.t ->
   Workload.Trace.t ->

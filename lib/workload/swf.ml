@@ -11,16 +11,17 @@ let fields line =
   String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
   |> List.filter (fun s -> s <> "")
 
-let float_field name s =
+let float_field ~line_number name s =
   match float_of_string_opt s with
   | Some f -> Ok f
-  | None -> Error (Printf.sprintf "bad %s field %S" name s)
+  | None -> Error (Printf.sprintf "line %d: bad %s field %S" line_number name s)
 
 let ( let* ) = Result.bind
 
 let parse_line ~line_number ~id line =
   if is_blank line || is_comment line then Ok None
   else
+    let float_field name s = float_field ~line_number name s in
     match fields line with
     | _job :: submit :: _wait :: runtime :: alloc :: _cpu :: _mem
       :: req_procs :: req_time :: rest ->
@@ -53,7 +54,15 @@ let parse_line ~line_number ~id line =
           (Printf.sprintf "line %d: expected >= 9 fields, got %d" line_number
              (List.length (fields line)))
 
+(* Traces exported on Windows (or fetched over HTTP) use CRLF line
+   ends; after splitting on '\n' the '\r' would survive into the last
+   field of every line and fail [float_of_string_opt]. *)
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
 let of_lines lines =
+  let lines = List.map strip_cr lines in
   let rec loop line_number id jobs skipped comments = function
     | [] -> Ok { trace = Trace.v (List.rev jobs); skipped; comments = List.rev comments }
     | line :: rest ->
@@ -91,10 +100,10 @@ let job_line ~wait (j : Job.t) =
     (j.id + 1) j.submit wait j.runtime j.nodes j.nodes j.requested
     (if j.user > 0 then j.user else -1)
 
-let to_file ?(comments = []) path trace =
+let to_file ?(comments = []) ?(wait = fun (_ : Job.t) -> 0.0) path trace =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
       List.iter (fun c -> output_string oc (c ^ "\n")) comments;
       Array.iter
-        (fun j -> output_string oc (job_line ~wait:0.0 j ^ "\n"))
+        (fun j -> output_string oc (job_line ~wait:(wait j) j ^ "\n"))
         (Trace.jobs trace))

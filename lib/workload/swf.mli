@@ -15,7 +15,10 @@
     - user             <- field 12 when present and positive
 
     Jobs with unusable fields (non-positive runtime or width, negative
-    submit) are skipped and counted. *)
+    submit) are skipped and counted.  CRLF line endings are accepted
+    (the trailing carriage return is stripped before parsing);
+    malformed lines — wrong field count, non-numeric numeric fields —
+    are reported as [Error] with their line number. *)
 
 type parse_result = {
   trace : Trace.t;
@@ -35,5 +38,9 @@ val job_line : wait:float -> Job.t -> string
 (** Render one job as an 18-field SWF line.  [wait] fills the wait-time
     field (use 0.0 if unknown). *)
 
-val to_file : ?comments:string list -> string -> Trace.t -> unit
-(** Write a trace as an SWF file with optional header comments. *)
+val to_file :
+  ?comments:string list -> ?wait:(Job.t -> float) -> string -> Trace.t -> unit
+(** Write a trace as an SWF file with optional header comments.
+    [wait], when given, fills each job's wait-time field (e.g. from
+    simulated outcomes, so an exported schedule round-trips its
+    measured waits); it defaults to 0 everywhere. *)

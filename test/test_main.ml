@@ -22,6 +22,7 @@ let () =
       ("sched.variants", Test_variants.suite);
       ("sched.more", Test_sched_more.suite);
       ("sim.engine", Test_engine.suite);
+      ("check", Test_check.suite);
       ("sim.gantt", Test_gantt.suite);
       ("metrics.export", Test_export.suite);
       ("sim.queueing-theory", Test_queueing_theory.suite);

@@ -101,6 +101,116 @@ let test_generated_trace_roundtrip () =
             1.0
             (Trace.total_demand r.Swf.trace /. Trace.total_demand t))
 
+let test_parse_crlf () =
+  (* Windows-exported / HTTP-fetched traces end lines with \r\n; the
+     stray \r used to corrupt the last field of every line. *)
+  let crlf = String.concat "\r\n" (String.split_on_char '\n' sample) in
+  let r = parse crlf in
+  Alcotest.(check int) "three jobs" 3 (Trace.length r.Swf.trace);
+  Alcotest.(check int) "no skips" 0 r.Swf.skipped;
+  let lf = parse sample in
+  Alcotest.(check bool) "same jobs as LF parse" true
+    (List.for_all2 Job.equal
+       (Array.to_list (Trace.jobs r.Swf.trace))
+       (Array.to_list (Trace.jobs lf.Swf.trace)))
+
+let test_numeric_error_has_line_number () =
+  let bad =
+    String.concat "\n"
+      [
+        "; header";
+        "1 0 10 3600 4 -1 -1 4 7200 -1 1 -1 -1 -1 -1 -1 -1 -1";
+        "2 x 10 3600 4 -1 -1 4 7200 -1 1 -1 -1 -1 -1 -1 -1 -1";
+      ]
+  in
+  match Swf.of_string bad with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error msg ->
+      Alcotest.(check bool) "mentions the line" true
+        (Helpers.contains msg "line 3");
+      Alcotest.(check bool) "names the field" true
+        (Helpers.contains msg "bad submit field")
+
+let test_malformed_corpus () =
+  let error line =
+    match Swf.of_string line with Ok _ -> None | Error e -> Some e
+  in
+  (* truncated record: hard error with its line number *)
+  (match error "1 2 3" with
+  | Some e -> Alcotest.(check bool) "truncated" true (Helpers.contains e "line 1")
+  | None -> Alcotest.fail "truncated line must error");
+  (* non-numeric runtime: hard error naming field and line *)
+  (match error "1 0 10 oops 4 -1 -1 4 7200 -1 1 -1 -1 -1 -1 -1 -1 -1" with
+  | Some e ->
+      Alcotest.(check bool) "bad runtime" true
+        (Helpers.contains e "bad runtime field")
+  | None -> Alcotest.fail "non-numeric runtime must error");
+  (* unusable but well-formed records: skipped, not errors *)
+  let skipped line =
+    let r = parse line in
+    (r.Swf.skipped, Trace.length r.Swf.trace)
+  in
+  Alcotest.(check (pair int int)) "negative submit skipped" (1, 0)
+    (skipped "1 -5 10 3600 4 -1 -1 4 7200 -1 1 -1 -1 -1 -1 -1 -1 -1");
+  Alcotest.(check (pair int int)) "zero nodes skipped" (1, 0)
+    (skipped "1 0 10 3600 0 -1 -1 0 7200 -1 1 -1 -1 -1 -1 -1 -1 -1")
+
+let test_to_file_waits () =
+  (* exported traces carry per-job waits through the wait field *)
+  let jobs =
+    [
+      Job.v ~id:0 ~submit:0.0 ~nodes:4 ~runtime:3600.0 ~requested:7200.0;
+      Job.v ~id:1 ~submit:500.0 ~nodes:2 ~runtime:60.0 ~requested:60.0;
+    ]
+  in
+  let t = Trace.v jobs in
+  let wait (j : Job.t) = if j.Job.id = 0 then 0.0 else 1234.0 in
+  let path = Filename.temp_file "swf_wait" ".swf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Swf.to_file ~wait path t;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let wait_field line =
+            match String.split_on_char ' ' line with
+            | _ :: _ :: w :: _ -> w
+            | _ -> Alcotest.fail "short line"
+          in
+          Alcotest.(check string) "job 0 wait" "0"
+            (wait_field (input_line ic));
+          Alcotest.(check string) "job 1 wait" "1234"
+            (wait_field (input_line ic))))
+
+let prop_roundtrip =
+  (* of_file (to_file t) = t modulo the writer's whole-second rounding
+     and id renumbering *)
+  QCheck.Test.make ~name:"SWF roundtrip preserves every job" ~count:50
+    QCheck.small_int (fun seed ->
+      let t = Helpers.mini_trace ~n:25 ~capacity:64 ~seed () in
+      let path = Filename.temp_file "swf_prop" ".swf" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Swf.to_file path t;
+          match Swf.of_file path with
+          | Error e -> Alcotest.fail e
+          | Ok r ->
+              r.Swf.skipped = 0
+              && Trace.length r.Swf.trace = Trace.length t
+              && List.for_all2
+                   (fun (a : Job.t) (b : Job.t) ->
+                     a.Job.nodes = b.Job.nodes
+                     && a.Job.user = b.Job.user
+                     && Float.abs (a.Job.submit -. b.Job.submit) <= 0.51
+                     && Float.abs (a.Job.runtime -. b.Job.runtime) <= 0.51
+                     && Float.abs (a.Job.requested -. b.Job.requested)
+                        <= 0.51)
+                   (Array.to_list (Trace.jobs t))
+                   (Array.to_list (Trace.jobs r.Swf.trace))))
+
 let test_fixture_file () =
   match Swf.of_file "fixtures/sample.swf" with
   | Error e -> Alcotest.fail e
@@ -134,4 +244,10 @@ let suite =
     Alcotest.test_case "file roundtrip" `Quick test_roundtrip_file;
     Alcotest.test_case "generated trace roundtrip" `Quick
       test_generated_trace_roundtrip;
+    Alcotest.test_case "CRLF corpus" `Quick test_parse_crlf;
+    Alcotest.test_case "numeric error line number" `Quick
+      test_numeric_error_has_line_number;
+    Alcotest.test_case "malformed corpus" `Quick test_malformed_corpus;
+    Alcotest.test_case "to_file waits" `Quick test_to_file_waits;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
   ]
