@@ -32,6 +32,23 @@
                           (<base>.pool.json, wall-clock, NOT
                           deterministic)
 
+   Run-health reports (rides along with the tables):
+
+     --report[=dir]       sample a run-health series for every
+                          simulation the experiments run and write
+                          self-contained HTML report pages (one per
+                          month/load/estimator cell, overlaying its
+                          policies) plus a cross-policy index.html and
+                          the raw series JSONL (run_series/1) into dir
+                          (default bench-report); deterministic for
+                          any REPRO_JOBS
+
+   Progress (stderr only, outside the byte-identical stdout):
+
+     --progress           print a [k/n] experiment heartbeat with
+                          per-experiment wall time and an ETA; also on
+                          by default when stderr is a TTY
+
    Perf regression modes (instead of the tables):
 
      --perf-json [path]   measure search throughput (nodes/ms, trail
@@ -69,6 +86,13 @@ let run_guarded e fmt =
     Format.fprintf fmt "@.[%s FAILED: %s]@." e.Experiments.Registry.id
       (Printexc.to_string exn)
 
+(* Wall-clock heartbeat on stderr: on with --progress or when stderr
+   is a TTY; never touches the byte-identical stdout stream. *)
+let progress_flag = ref false
+
+let progress_enabled () =
+  !progress_flag || (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
+
 let run_experiments fmt =
   Format.fprintf fmt
     "Search-based Job Scheduling for Parallel Computer Workloads@.";
@@ -82,13 +106,23 @@ let run_experiments fmt =
        (List.map
           (fun m -> m.Workload.Month_profile.label)
           (Experiments.Common.months ())));
-  List.iter
-    (fun e ->
+  let exps = selected () in
+  let n = List.length exps in
+  let t_start = Simcore.Clock.monotonic_s () in
+  List.iteri
+    (fun i e ->
+      if progress_enabled () then
+        Printf.eprintf "[%d/%d] %s ...\n%!" (i + 1) n e.Experiments.Registry.id;
       let t0 = Simcore.Clock.monotonic_s () in
       run_guarded e fmt;
+      let now = Simcore.Clock.monotonic_s () in
       Format.fprintf fmt "[%s done in %.1fs]@." e.Experiments.Registry.id
-        (Simcore.Clock.monotonic_s () -. t0))
-    (selected ())
+        (now -. t0);
+      if progress_enabled () then
+        Printf.eprintf "[%d/%d] %s done in %.1fs, ETA %.0fs\n%!" (i + 1) n
+          e.Experiments.Registry.id (now -. t0)
+          ((now -. t_start) /. float_of_int (i + 1) *. float_of_int (n - i - 1)))
+    exps
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks of the hot kernels                                  *)
@@ -198,6 +232,17 @@ let micro_copy_into =
   Test.make ~name:"copy_into"
     (Staged.stage (fun () -> Cluster.Profile.copy_into ~src:p ~dst:q))
 
+(* One run-health observation, steady state (the buffer stays at its
+   capacity and halving amortizes away). *)
+let micro_series_observe =
+  let s = Sim.Series.create ~policy:"micro" () in
+  let clock = ref 0.0 in
+  Test.make ~name:"series_observe"
+    (Staged.stage (fun () ->
+         clock := !clock +. 30.0;
+         Sim.Series.observe s ~now:!clock ~busy:64 ~queue:12 ~demand:200
+           ~running:9 ~max_wait:3600.0))
+
 let perf_budgets = [ 1000; 8000; 100000 ]
 let perf_queue_depths = [ 10; 30; 60 ]
 
@@ -266,11 +311,13 @@ let wallclock_entries () =
   @ List.map (fun (id, s) -> (Printf.sprintf "wall_%s_seq_s" id, s)) per_seq
   @ List.map (fun (id, s) -> (Printf.sprintf "wall_%s_par_s" id, s)) per_par
 
-(* Decision-level telemetry aggregates: one traced run of the headline
-   policy on the first quick-config month.  Guards the probe plumbing
-   itself — a silent probe regression would zero these fields. *)
+(* Decision-level telemetry aggregates: one traced + series-sampled run
+   of the headline policy on the first quick-config month.  Guards the
+   probe and sampler plumbing itself — a silent regression in either
+   would zero these fields. *)
 let telemetry_entries () =
   Experiments.Common.set_tracing true;
+  Experiments.Common.set_series true;
   Experiments.Common.reset_caches ();
   let month = List.hd (Experiments.Common.months ()) in
   let run =
@@ -279,6 +326,18 @@ let telemetry_entries () =
       ~r_star:Sim.Engine.Actual month Experiments.Common.Original
   in
   Experiments.Common.set_tracing false;
+  Experiments.Common.set_series false;
+  let series_entries =
+    match run.Sim.Run.series with
+    | None -> []
+    | Some s ->
+        [ ("series_observed", float_of_int (Sim.Series.observed s));
+          ("series_samples", float_of_int (Sim.Series.length s));
+          ("series_stride", float_of_int (Sim.Series.stride s));
+          ("series_excess_total_s", Sim.Series.cumulative_excess s) ]
+  in
+  series_entries
+  @
   match run.Sim.Run.log with
   | None -> []
   | Some log ->
@@ -320,7 +379,8 @@ let perf_json path =
   let micro =
     [ ("micro_place_earliest_undo_ns", ols_ns micro_place_undo);
       ("micro_reserve_undo_ns", ols_ns micro_reserve_undo);
-      ("micro_copy_into_ns", ols_ns micro_copy_into) ]
+      ("micro_copy_into_ns", ols_ns micro_copy_into);
+      ("micro_series_observe_ns", ols_ns micro_series_observe) ]
   in
   let wall = wallclock_entries () in
   let telemetry = telemetry_entries () in
@@ -332,10 +392,10 @@ let perf_json path =
   in
   let oc = open_out path in
   Printf.fprintf oc "{\n";
-  Printf.fprintf oc "  \"schema\": \"search_hotpath/3\",\n";
+  Printf.fprintf oc "  \"schema\": \"search_hotpath/4\",\n";
   Printf.fprintf oc
     "  \"unit\": \"nodes_per_ms (grid), ns (micro), s (wall), counts \
-     (telemetry)\",\n";
+     (telemetry, series)\",\n";
   Printf.fprintf oc "  \"bench\": \"DDS/lxf on the synthetic 128-node decision point\",\n";
   let rec emit = function
     | [] -> ()
@@ -426,10 +486,11 @@ let perf_smoke path =
       parallel_determinism_smoke ();
       Printf.printf "perf-smoke: OK\n"
 
-(* Consume "-j N" / "--jobs N" / "--trace[=path]" / "--validate"
-   anywhere on the command line; the rest is matched positionally
-   below. *)
+(* Consume "-j N" / "--jobs N" / "--trace[=path]" / "--report[=dir]" /
+   "--validate" / "--progress" anywhere on the command line; the rest
+   is matched positionally below. *)
 let trace_path = ref None
+let report_dir = ref None
 let validate_flag = ref false
 
 let prescan_jobs argv =
@@ -452,8 +513,17 @@ let prescan_jobs argv =
     | a :: rest when String.length a > 8 && String.sub a 0 8 = "--trace=" ->
         trace_path := Some (String.sub a 8 (String.length a - 8));
         go acc rest
+    | "--report" :: rest ->
+        report_dir := Some "bench-report";
+        go acc rest
+    | a :: rest when String.length a > 9 && String.sub a 0 9 = "--report=" ->
+        report_dir := Some (String.sub a 9 (String.length a - 9));
+        go acc rest
     | "--validate" :: rest ->
         validate_flag := true;
+        go acc rest
+    | "--progress" :: rest ->
+        progress_flag := true;
         go acc rest
     | a :: rest -> go (a :: acc) rest
   in
@@ -509,6 +579,77 @@ let write_traces path =
   Printf.printf "wrote %s (%d traced runs), %s, %s (%d pool spans)\n" path
     traced chrome_path pool_path (List.length spans)
 
+(* Run-health report pages: one per month/load/estimator cell, its
+   policies overlaid, plus a cross-policy index and the raw series
+   JSONL.  Everything here renders from the warm run cache, so the
+   files are byte-identical for any REPRO_JOBS. *)
+let write_reports dir =
+  let runs = Experiments.Common.series_runs () in
+  (* Cache keys are month/load/estimator/policy with the month label
+     itself containing one '/' (e.g. 7/03): the cell is the first four
+     segments, the policy spec the rest. *)
+  let split key =
+    match String.split_on_char '/' key with
+    | m1 :: m2 :: load :: rstar :: (_ :: _ as policy) ->
+        (String.concat "/" [ m1; m2; load; rstar ], String.concat "/" policy)
+    | _ -> (key, key)
+  in
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c
+        | _ -> '_')
+      s
+  in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (key, s) ->
+      let cell, label = split key in
+      match Hashtbl.find_opt tbl cell with
+      | None ->
+          order := cell :: !order;
+          Hashtbl.replace tbl cell [ (label, s) ]
+      | Some rs -> Hashtbl.replace tbl cell ((label, s) :: rs))
+    runs;
+  let sections =
+    List.rev_map
+      (fun cell ->
+        {
+          Sim.Report.href = sanitize cell ^ ".html";
+          title = cell;
+          runs = List.rev (Hashtbl.find tbl cell);
+        })
+      !order
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let write path content =
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+  in
+  List.iter
+    (fun s ->
+      write
+        (Filename.concat dir s.Sim.Report.href)
+        (Sim.Report.page
+           ~title:("Run health: " ^ s.Sim.Report.title)
+           ~subtitle:"month / load / estimator cell, one run per policy"
+           s.Sim.Report.runs))
+    sections;
+  write
+    (Filename.concat dir "index.html")
+    (Sim.Report.index ~title:"Run-health reports" sections);
+  let oc = open_out (Filename.concat dir "series.jsonl") in
+  let ofmt = Format.formatter_of_out_channel oc in
+  Experiments.Common.pp_series ofmt;
+  Format.pp_print_flush ofmt ();
+  close_out oc;
+  Printf.printf
+    "wrote %d report pages, index.html and series.jsonl (%d runs) to %s\n"
+    (List.length sections) (List.length runs) dir
+
 (* Aggregate the validation reports of every cached run; non-zero exit
    on any violation so @check-smoke can gate on it. *)
 let report_validation fmt =
@@ -536,6 +677,7 @@ let () =
   | Some _ ->
       Experiments.Common.set_tracing true;
       Simcore.Pool.set_tracing (Experiments.Common.pool ()) true);
+  if !report_dir <> None then Experiments.Common.set_series true;
   if !validate_flag then Experiments.Common.set_validation true;
   (match argv with
   | [| _ |] ->
@@ -545,6 +687,7 @@ let () =
       Format.fprintf fmt "@.total bench time: %.1fs@."
         (Simcore.Clock.monotonic_s () -. t0);
       Option.iter write_traces !trace_path;
+      Option.iter write_reports !report_dir;
       (* Summary on stderr so @check-smoke can silence the tables and
          still show it. *)
       if !validate_flag then report_validation Format.err_formatter
@@ -554,7 +697,8 @@ let () =
   | [| _; "--perf-smoke"; path |] -> perf_smoke path
   | _ ->
       prerr_endline
-        "usage: main.exe [-j N] [--trace[=path]] [--validate] \
-         [--perf-json [path] | --perf-smoke [path]]";
+        "usage: main.exe [-j N] [--trace[=path]] [--report[=dir]] \
+         [--validate] [--progress] [--perf-json [path] | --perf-smoke \
+         [path]]";
       exit 2);
   Experiments.Common.shutdown_pool ()

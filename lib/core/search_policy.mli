@@ -51,7 +51,11 @@ type stats = {
 
 val policy : config -> Sched.Policy.t * (unit -> stats)
 (** The scheduling policy plus an accessor for cumulative search
-    statistics (used by the overhead experiment). *)
+    statistics (used by the overhead experiment).  The policy carries
+    a per-instance search-effort probe and a (disabled) run-health
+    metric registry of search counters — enable it via
+    [Sched.Policy.metrics] to include search effort in an OpenMetrics
+    exposition. *)
 
 val decide_detailed :
   config -> Sched.Policy.context -> Search.result option

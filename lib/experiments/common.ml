@@ -142,6 +142,13 @@ let validation_cell = ref false
 let set_validation v = validation_cell := v
 let validation () = !validation_cell
 
+(* Run-health series: same switch pattern again.  When on, every
+   simulation computed into the run cache feeds a bounded sampler that
+   rides in [Sim.Run.t] for later report rendering. *)
+let series_cell = ref false
+let set_series v = series_cell := v
+let series_enabled () = !series_cell
+
 let simulate ~policy_key ~policy ~r_star profile load =
   let key =
     Printf.sprintf "%s/%s/%s/%s" profile.Workload.Month_profile.label
@@ -155,6 +162,10 @@ let simulate ~policy_key ~policy ~r_star profile load =
           Some (Sim.Decision_log.create ~policy:policy_key ())
         else None
       in
+      let series =
+        if !series_cell then Some (Sim.Series.create ~policy:policy_key ())
+        else None
+      in
       let policy = policy () in
       let validate =
         if !validation_cell then
@@ -163,7 +174,8 @@ let simulate ~policy_key ~policy ~r_star profile load =
                policy.Sched.Policy.name)
         else None
       in
-      Sim.Run.simulate ?log ?validate ~r_star ~policy (trace profile load))
+      Sim.Run.simulate ?log ?series ?validate ~r_star ~policy
+        (trace profile load))
 
 let traced_runs () =
   Simcore.Memo.bindings run_cache
@@ -176,6 +188,16 @@ let validation_reports () =
   |> List.filter_map (fun (key, run) ->
          Option.map (fun report -> (key, report)) run.Sim.Run.validation)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let series_runs () =
+  Simcore.Memo.bindings run_cache
+  |> List.filter_map (fun (key, run) ->
+         Option.map (fun s -> (key, s)) run.Sim.Run.series)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_series fmt =
+  List.iter (fun (key, s) -> Sim.Series.pp_jsonl ~run:key fmt s)
+    (series_runs ())
 
 let pp_traces fmt =
   List.iter (fun (key, log) -> Sim.Decision_log.pp_jsonl ~run:key fmt log)

@@ -107,6 +107,24 @@ val validation : unit -> bool
 val validation_reports : unit -> (string * Schedcheck.Report.t) list
 (** Cached runs that carry a validation report, sorted by cache key. *)
 
+(** {2 Run-health series}
+
+    Same switch pattern as tracing: when on, every simulation computed
+    into the run cache feeds a bounded {!Sim.Series.t} sampler (one
+    run-health observation per decision point) that rides in
+    {!Sim.Run.t}.  The exporters list runs in sorted-key order, so
+    output is byte-identical for every [jobs] setting.  Flip the
+    switch {e before} warming the cache. *)
+
+val set_series : bool -> unit
+val series_enabled : unit -> bool
+
+val series_runs : unit -> (string * Sim.Series.t) list
+(** Cached runs that carry a run-health series, sorted by cache key. *)
+
+val pp_series : Format.formatter -> unit
+(** JSONL ([run_series/1]) of every sampled cached run. *)
+
 val trace : Workload.Month_profile.t -> load -> Workload.Trace.t
 (** Generated (and, for [Rho r], load-scaled) trace; memoized. *)
 

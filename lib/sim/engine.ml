@@ -17,8 +17,49 @@ type result = {
 
 type event = Arrival of Workload.Job.t | Finish of int
 
-let run ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
-    trace =
+(* The engine's own run-health instruments, registered on the caller's
+   fresh registry when [?metrics] is given. *)
+type instruments = {
+  m_decisions : Simcore.Metrics.counter;
+  m_started : Simcore.Metrics.counter;
+  m_completed : Simcore.Metrics.counter;
+  m_queue : Simcore.Metrics.gauge;
+  m_busy : Simcore.Metrics.gauge;
+  m_backlog : Simcore.Metrics.gauge;
+  m_wait : Simcore.Metrics.histogram;
+  m_queue_depth : Simcore.Metrics.histogram;
+}
+
+let instruments_of reg =
+  {
+    m_decisions =
+      Simcore.Metrics.counter reg "schedsim_decisions"
+        ~help:"scheduling decision points";
+    m_started =
+      Simcore.Metrics.counter reg "schedsim_jobs_started"
+        ~help:"jobs started";
+    m_completed =
+      Simcore.Metrics.counter reg "schedsim_jobs_completed"
+        ~help:"jobs completed";
+    m_queue =
+      Simcore.Metrics.gauge reg "schedsim_queue_jobs"
+        ~help:"waiting jobs after the last decision";
+    m_busy =
+      Simcore.Metrics.gauge reg "schedsim_busy_nodes"
+        ~help:"busy nodes after the last decision";
+    m_backlog =
+      Simcore.Metrics.gauge reg "schedsim_backlog_nodes"
+        ~help:"nodes demanded by waiting jobs after the last decision";
+    m_wait =
+      Simcore.Metrics.histogram reg "schedsim_wait_seconds"
+        ~help:"per-job wait at start, seconds";
+    m_queue_depth =
+      Simcore.Metrics.histogram reg "schedsim_queue_depth"
+        ~help:"waiting jobs per decision point";
+  }
+
+let run ?(machine = Cluster.Machine.titan) ?log ?series ?metrics ?validate
+    ~r_star ~policy trace =
   (* On-line predictor state (Predicted mode): running mean of the
      actual/requested ratio of completed jobs, seeded at 1.0 (trust the
      user until evidence accumulates). *)
@@ -51,6 +92,7 @@ let run ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
       Simcore.Event_queue.schedule events ~time:j.submit (Arrival j))
     (Workload.Trace.jobs trace);
   let running = Cluster.Running_set.create ~machine in
+  let inst = Option.map instruments_of metrics in
   (* Waiting queue in submit order: appends at the back. *)
   let waiting : Workload.Job.t list ref = ref [] in
   let outcomes = ref [] in
@@ -67,6 +109,15 @@ let run ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
       { job = j; start = now; finish; est_finish = now +. estimator j };
     Simcore.Event_queue.schedule events ~time:finish (Finish j.id);
     waiting := List.filter (fun w -> not (Workload.Job.equal w j)) !waiting;
+    let wait = now -. j.submit in
+    (match series with
+    | None -> ()
+    | Some s -> Series.note_start s ~wait);
+    (match inst with
+    | None -> ()
+    | Some i ->
+        Simcore.Metrics.incr i.m_started;
+        Simcore.Metrics.observe i.m_wait (int_of_float wait));
     outcomes := Metrics.Outcome.v ~job:j ~start:now ~finish :: !outcomes
   in
   let apply now = function
@@ -74,7 +125,36 @@ let run ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
     | Finish id ->
         let entry = Cluster.Running_set.remove running ~id in
         learn entry.Cluster.Running_set.job;
+        (match inst with
+        | None -> ()
+        | Some i -> Simcore.Metrics.incr i.m_completed);
         horizon := Float.max !horizon now
+  in
+  (* One pass over the post-decision queue: length, core demand
+     (backlog) and the longest current wait. *)
+  let health_sample now =
+    let queue = ref 0 and demand = ref 0 and max_wait = ref 0.0 in
+    List.iter
+      (fun (j : Workload.Job.t) ->
+        incr queue;
+        demand := !demand + j.nodes;
+        let w = now -. j.submit in
+        if w > !max_wait then max_wait := w)
+      !waiting;
+    let busy = Cluster.Running_set.busy_nodes running in
+    (match series with
+    | None -> ()
+    | Some s ->
+        Series.observe s ~now ~busy ~queue:!queue ~demand:!demand
+          ~running:(Cluster.Running_set.count running) ~max_wait:!max_wait);
+    match inst with
+    | None -> ()
+    | Some i ->
+        Simcore.Metrics.incr i.m_decisions;
+        Simcore.Metrics.set i.m_queue (float_of_int !queue);
+        Simcore.Metrics.set i.m_busy (float_of_int busy);
+        Simcore.Metrics.set i.m_backlog (float_of_int !demand);
+        Simcore.Metrics.observe i.m_queue_depth !queue
   in
   let rec drain_instant now =
     match Simcore.Event_queue.next_time events with
@@ -109,6 +189,7 @@ let run ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
               ~started:(List.length to_start)
               ~probe:policy.Sched.Policy.probe);
         List.iter (start_job now) to_start;
+        if series <> None || inst <> None then health_sample now;
         queue_samples :=
           { time = now; length = List.length !waiting } :: !queue_samples;
         loop ()

@@ -39,6 +39,8 @@ type result = {
 val run :
   ?machine:Cluster.Machine.t ->
   ?log:Decision_log.t ->
+  ?series:Series.t ->
+  ?metrics:Simcore.Metrics.t ->
   ?validate:Schedcheck.Validator.expectation ->
   r_star:r_star ->
   policy:Sched.Policy.t ->
@@ -49,6 +51,18 @@ val run :
     decision event per decision point: the simulated time, the queue
     length the policy saw, the number of jobs it started, and the
     policy's search-effort probe snapshot.
+
+    [series], when given, is fed one run-health observation per
+    decision point, after the decision's starts took effect (decisions
+    happen exactly at arrivals and departures, so completions are
+    sampled too), plus one {!Series.note_start} per started job.
+
+    [metrics], when given, must be a fresh registry: the engine
+    registers its run-health instruments on it (decision/start/finish
+    counters, queue/busy/backlog gauges, wait and queue-depth
+    histograms, names prefixed [schedsim_]) and records into them as
+    the run progresses — honoring the registry's own switch.  Both
+    hooks are entirely off the simulation path when unset.
 
     [validate], when given, runs {!Schedcheck.Validator.validate} over
     the finished schedule and stores the report in

@@ -10,6 +10,7 @@ type t = {
   queue_samples : Engine.queue_sample list;
   log : Decision_log.t option;
   validation : Schedcheck.Report.t option;
+  series : Series.t option;
 }
 
 (* Busy node-seconds inside [from_, upto), over machine capacity. *)
@@ -31,10 +32,12 @@ let utilization_of ~machine ~from_ ~upto outcomes =
     busy /. (float_of_int machine.Cluster.Machine.nodes *. window)
   end
 
-let simulate ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
-    trace =
+let simulate ?(machine = Cluster.Machine.titan) ?log ?series ?metrics ?validate
+    ~r_star ~policy trace =
   let t0 = Simcore.Clock.monotonic_s () in
-  let result = Engine.run ~machine ?log ?validate ~r_star ~policy trace in
+  let result =
+    Engine.run ~machine ?log ?series ?metrics ?validate ~r_star ~policy trace
+  in
   let wall_clock = Simcore.Clock.monotonic_s () -. t0 in
   let measured =
     List.filter
@@ -57,6 +60,7 @@ let simulate ?(machine = Cluster.Machine.titan) ?log ?validate ~r_star ~policy
     queue_samples = result.Engine.queue_samples;
     log;
     validation = result.Engine.validation;
+    series;
     utilization =
       utilization_of ~machine
         ~from_:(Workload.Trace.measure_start trace)

@@ -28,11 +28,17 @@ type t = {
       (** schedule-validation report, when the run was validated
           ([simulate ?validate]); rides along in the run caches like
           [log] so the bench harness can aggregate reports *)
+  series : Series.t option;
+      (** run-health time series, when the run was sampled
+          ([simulate ?series]); rides along in the run caches like
+          [log] so reports can be rendered after the fact *)
 }
 
 val simulate :
   ?machine:Cluster.Machine.t ->
   ?log:Decision_log.t ->
+  ?series:Series.t ->
+  ?metrics:Simcore.Metrics.t ->
   ?validate:Schedcheck.Validator.expectation ->
   r_star:Engine.r_star ->
   policy:Sched.Policy.t ->

@@ -1,0 +1,184 @@
+(* Every instrument holds the bool ref it shares with its registry, so
+   a record call is one load and a branch whatever the instrument kind.
+   Gauges keep their level in a one-element float array: a mutable
+   float field in a mixed record would box on every store, a float
+   array store stays unboxed. *)
+
+type counter = {
+  c_name : string;
+  c_help : string;
+  c_switch : bool ref;
+  mutable c_value : int;
+}
+
+type gauge = { g_name : string; g_help : string; g_switch : bool ref;
+               g_cell : float array }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_switch : bool ref;
+  h_counts : int array;  (* length [Telemetry.Histogram.buckets] *)
+  mutable h_count : int;
+  mutable h_total : int;
+}
+
+type item = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { switch : bool ref; mutable items : item list (* newest first *) }
+
+let create ?(enabled = false) () = { switch = ref enabled; items = [] }
+let enabled t = !(t.switch)
+let set_enabled t v = t.switch := v
+
+let item_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let valid_name s =
+  let ok_first c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  in
+  let ok c = ok_first c || (c >= '0' && c <= '9') in
+  s <> ""
+  && ok_first s.[0]
+  && (let good = ref true in
+      String.iter (fun c -> if not (ok c) then good := false) s;
+      !good)
+
+let register t name item =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  if List.exists (fun i -> item_name i = name) t.items then
+    invalid_arg (Printf.sprintf "Metrics: duplicate metric name %S" name);
+  t.items <- item :: t.items
+
+let counter t ?(help = "") name =
+  let c = { c_name = name; c_help = help; c_switch = t.switch; c_value = 0 } in
+  register t name (Counter c);
+  c
+
+let gauge t ?(help = "") name =
+  let g =
+    { g_name = name; g_help = help; g_switch = t.switch;
+      g_cell = Array.make 1 0.0 }
+  in
+  register t name (Gauge g);
+  g
+
+let histogram t ?(help = "") name =
+  let h =
+    {
+      h_name = name;
+      h_help = help;
+      h_switch = t.switch;
+      h_counts = Array.make Telemetry.Histogram.buckets 0;
+      h_count = 0;
+      h_total = 0;
+    }
+  in
+  register t name (Histogram h);
+  h
+
+let incr c = if !(c.c_switch) then c.c_value <- c.c_value + 1
+let add c n = if !(c.c_switch) then c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let set g v = if !(g.g_switch) then g.g_cell.(0) <- v
+let gauge_value g = g.g_cell.(0)
+
+let observe h v =
+  if !(h.h_switch) then begin
+    let b = Telemetry.Histogram.bucket_of v in
+    h.h_counts.(b) <- h.h_counts.(b) + 1;
+    h.h_count <- h.h_count + 1;
+    h.h_total <- h.h_total + v
+  end
+
+let histogram_count h = h.h_count
+let histogram_total h = h.h_total
+
+let histogram_percentile h p =
+  (* same estimator as Telemetry.Histogram.percentile, over our own
+     storage: linear interpolation inside the crossing bucket *)
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Metrics.histogram_percentile: p out of [0, 100]";
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank = p /. 100.0 *. float_of_int h.h_count in
+    let cum = ref 0 in
+    let result = ref 0.0 in
+    (try
+       for b = 0 to Telemetry.Histogram.buckets - 1 do
+         let c = h.h_counts.(b) in
+         if c > 0 then begin
+           let below = float_of_int !cum in
+           cum := !cum + c;
+           if float_of_int !cum >= rank then begin
+             let inside = Float.max 0.0 (rank -. below) in
+             let frac = inside /. float_of_int c in
+             let lo =
+               if b = 0 then 0.0
+               else float_of_int (Telemetry.Histogram.bucket_lo b)
+             in
+             let hi = float_of_int (Telemetry.Histogram.bucket_hi b) in
+             result := lo +. (frac *. (hi -. lo));
+             raise Exit
+           end
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+(* --- OpenMetrics text exposition --- *)
+
+(* HELP text escaping per the exposition format: backslash and newline. *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Gauge levels are seconds/lengths: print integers without a mantissa
+   so expositions stay stable and grep-able. *)
+let pp_float fmt v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Format.fprintf fmt "%.0f" v
+  else Format.fprintf fmt "%g" v
+
+let pp_header fmt ~name ~kind ~help =
+  Format.fprintf fmt "# TYPE %s %s@." name kind;
+  if help <> "" then Format.fprintf fmt "# HELP %s %s@." name (escape_help help)
+
+let pp_item fmt = function
+  | Counter c ->
+      pp_header fmt ~name:c.c_name ~kind:"counter" ~help:c.c_help;
+      Format.fprintf fmt "%s_total %d@." c.c_name c.c_value
+  | Gauge g ->
+      pp_header fmt ~name:g.g_name ~kind:"gauge" ~help:g.g_help;
+      Format.fprintf fmt "%s %a@." g.g_name pp_float g.g_cell.(0)
+  | Histogram h ->
+      pp_header fmt ~name:h.h_name ~kind:"histogram" ~help:h.h_help;
+      let cum = ref 0 in
+      for b = 0 to Telemetry.Histogram.buckets - 1 do
+        if h.h_counts.(b) > 0 then begin
+          cum := !cum + h.h_counts.(b);
+          Format.fprintf fmt "%s_bucket{le=\"%d\"} %d@." h.h_name
+            (Telemetry.Histogram.bucket_hi b)
+            !cum
+        end
+      done;
+      Format.fprintf fmt "%s_bucket{le=\"+Inf\"} %d@." h.h_name h.h_count;
+      Format.fprintf fmt "%s_count %d@." h.h_name h.h_count;
+      Format.fprintf fmt "%s_sum %d@." h.h_name h.h_total
+
+let pp_openmetrics fmt regs =
+  List.iter (fun t -> List.iter (pp_item fmt) (List.rev t.items)) regs;
+  Format.fprintf fmt "# EOF@."

@@ -1,0 +1,85 @@
+(** Run-health metric registry.
+
+    A named-metric registry for one simulation run: counters, gauges
+    and histograms (the histograms reuse {!Telemetry.Histogram}'s
+    63-bucket log2 geometry), plus an OpenMetrics/Prometheus text
+    exposition writer.  Unlike {!Telemetry}, whose single process-wide
+    switch guards globally shared instruments, a registry is a
+    per-run instance with its own switch — runs executing in parallel
+    on the domain pool each own their registry and never contend.
+
+    The section-7 observability contract applies: with the registry's
+    switch off every [incr]/[set]/[observe] is a single load plus a
+    predictable branch; with it on, recording writes into preallocated
+    storage and never allocates per observation (registration
+    allocates, observation does not — tested).
+
+    Instruments are single-writer, like {!Telemetry}'s: record only
+    from the domain that owns the run. *)
+
+type t
+(** A registry: an ordered collection of named instruments sharing one
+    on/off switch. *)
+
+val create : ?enabled:bool -> unit -> t
+(** Fresh empty registry (default [enabled = false]). *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** {2 Instruments}
+
+    Metric names must match the OpenMetrics charset
+    [[a-zA-Z_:][a-zA-Z0-9_:]*] and be unique within their registry;
+    registration raises [Invalid_argument] otherwise.  Counter names
+    are given without the ["_total"] suffix (the exposition writer
+    appends it). *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> ?help:string -> string -> counter
+(** Monotone int accumulator. *)
+
+val gauge : t -> ?help:string -> string -> gauge
+(** Last-write-wins float level (queue depth, busy nodes, ...). *)
+
+val histogram : t -> ?help:string -> string -> histogram
+(** Distribution of non-negative ints over
+    {!Telemetry.Histogram.buckets} log2 buckets. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+(** No-ops while the registry's switch is off. *)
+
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+(** No-op while the registry's switch is off. *)
+
+val gauge_value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** No-op while the registry's switch is off. *)
+
+val histogram_count : histogram -> int
+(** Observations recorded. *)
+
+val histogram_total : histogram -> int
+(** Sum of observed values. *)
+
+val histogram_percentile : histogram -> float -> float
+(** Same estimator as {!Telemetry.Histogram.percentile}.
+    @raise Invalid_argument if the percentile is out of [0, 100]. *)
+
+(** {2 Exposition} *)
+
+val pp_openmetrics : Format.formatter -> t list -> unit
+(** OpenMetrics text exposition of every instrument of every registry,
+    in registration order, terminated by [# EOF].  Counters expose
+    [name_total]; histograms expose cumulative [name_bucket{le="..."}]
+    series over the occupied buckets plus [le="+Inf"], [name_count]
+    and [name_sum].  Registries are emitted in list order; callers
+    keep metric names distinct across the registries they expose
+    together. *)

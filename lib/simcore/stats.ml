@@ -58,19 +58,37 @@ let max xs =
   Array.fold_left Float.max Float.neg_infinity xs
 
 module Timeline = struct
+  (* All-float record: every mutable store below is an unboxed float
+     write, so recording never allocates.  The min/max accumulators use
+     infinities as "no positive-span value yet" sentinels instead of a
+     bool flag (a non-float field would box the whole record). *)
   type t = {
     mutable last_time : float;
     mutable last_value : float;
     mutable integral : float;
+    mutable vmin : float;  (* min over values held for positive time *)
+    mutable vmax : float;
     start : float;
   }
 
   let create ~start =
-    { last_time = start; last_value = 0.0; integral = 0.0; start }
+    {
+      last_time = start;
+      last_value = 0.0;
+      integral = 0.0;
+      vmin = Float.infinity;
+      vmax = Float.neg_infinity;
+      start;
+    }
 
   let record t ~now ~value =
     if now < t.last_time then
       invalid_arg "Stats.Timeline.record: time went backwards";
+    if now > t.last_time then begin
+      (* the previous value was held for a positive span *)
+      if t.last_value < t.vmin then t.vmin <- t.last_value;
+      if t.last_value > t.vmax then t.vmax <- t.last_value
+    end;
     t.integral <- t.integral +. (t.last_value *. (now -. t.last_time));
     t.last_time <- now;
     t.last_value <- value
@@ -84,4 +102,19 @@ module Timeline = struct
         else 0.0
       in
       (t.integral +. tail) /. span
+
+  (* The current value joins the extremes only if it survives past
+     [last_time]; the accumulated vmin/vmax already cover everything
+     before. *)
+  let min_value t ~upto =
+    let m = if upto > t.last_time then Float.min t.vmin t.last_value
+            else t.vmin
+    in
+    if m = Float.infinity then 0.0 else m
+
+  let max_value t ~upto =
+    let m = if upto > t.last_time then Float.max t.vmax t.last_value
+            else t.vmax
+    in
+    if m = Float.neg_infinity then 0.0 else m
 end

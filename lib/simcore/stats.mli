@@ -51,4 +51,12 @@ module Timeline : sig
   val average : t -> upto:float -> float
   (** Time-weighted average of the signal from [start] to [upto].
       0.0 when the window is empty. *)
+
+  val min_value : t -> upto:float -> float
+  val max_value : t -> upto:float -> float
+  (** Extremes of the step signal over [start, upto], counting only
+      values held for a positive span of time — a value overwritten at
+      the instant it was recorded never existed on the time axis (so
+      same-instant re-records cannot distort the extremes).  0.0 when
+      the window is empty, matching [average]. *)
 end

@@ -29,6 +29,7 @@ let () =
       ("experiments.spec", Test_policy_spec.suite);
       ("simcore.pool", Test_pool.suite);
       ("simcore.telemetry", Test_telemetry.suite);
+      ("sim.series", Test_series.suite);
       ("experiments.parallel", Test_parallel_determinism.suite);
       ("fairshare", Test_fairshare.suite);
       ("cross-policy", Test_cross_policy.suite);

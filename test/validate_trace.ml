@@ -1,11 +1,16 @@
-(* Standalone validator for decision-trace artifacts (@trace-smoke).
+(* Standalone validator for observability artifacts (@trace-smoke and
+   @report-smoke).
 
-   No JSON library in the test stack, so this checks the line format
-   the exporters actually emit (Sim.Decision_log): a JSONL file is a
-   sequence of run headers each followed by its decision lines, with
-   counts, sequence numbers and timestamps consistent; a Chrome file is
-   one {"traceEvents":[...]} document.  Exit 0 on success, 1 with a
-   message on the first violation. *)
+   No JSON library in the test stack, so this checks the formats the
+   exporters actually emit.  Dispatch is on content: a decision-trace
+   JSONL (Sim.Decision_log) is run headers each followed by decision
+   lines; a run-series JSONL (Sim.Series) is run headers each followed
+   by downsampled sample lines; a Chrome file is one
+   {"traceEvents":[...]} document; an HTML report (Sim.Report) must be
+   a self-contained zero-JS page; an OpenMetrics file
+   (Simcore.Metrics) must expose well-formed families ending in
+   "# EOF".  Exit 0 on success, 1 with a message on the first
+   violation. *)
 
 let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
 
@@ -142,6 +147,104 @@ let validate_jsonl file =
     fail "%s: truncated: last run owes %d decisions" file !expect;
   Printf.printf "%s: OK (%d runs, %d decisions)\n" file !runs !decisions
 
+(* --- JSONL (run_series/1) --- *)
+
+let validate_series_jsonl file =
+  let lines = read_lines file in
+  if lines = [] then fail "%s: empty series export" file;
+  let runs = ref 0 and total_samples = ref 0 in
+  let expect = ref 0 (* sample lines owed by the current header *) in
+  let next_i = ref 0 and last_t = ref neg_infinity in
+  let stride = ref 0 and observed = ref 0 and committed = ref 0 in
+  let last_excess = ref 0.0 and excess_total = ref 0.0 in
+  let finish_run lineno =
+    if !expect > 0 then
+      fail "%s:%d: truncated: run owes %d samples" file lineno !expect;
+    if !runs > 0 then begin
+      if !observed - !committed >= !stride then
+        fail "%s:%d: %d observations never committed (stride %d)" file
+          lineno (!observed - !committed) !stride;
+      if !last_excess > !excess_total +. 0.002 then
+        fail "%s:%d: sample excess %.3f exceeds run total %.3f" file lineno
+          !last_excess !excess_total
+    end
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if not (starts_with "{" line && String.length line > 1) then
+        fail "%s:%d: not a JSON object line" file lineno;
+      match field_raw ~file ~lineno line "type" with
+      | "\"run\"" ->
+          finish_run lineno;
+          let schema = field_raw ~file ~lineno line "schema" in
+          if schema <> Printf.sprintf "%S" Sim.Series.schema then
+            fail "%s:%d: schema %s, want %S" file lineno schema
+              Sim.Series.schema;
+          let samples = field_int ~file ~lineno line "samples" in
+          let capacity = field_int ~file ~lineno line "capacity" in
+          if samples > capacity then
+            fail "%s:%d: %d samples exceed capacity %d" file lineno samples
+              capacity;
+          observed := field_int ~file ~lineno line "observed";
+          stride := field_int ~file ~lineno line "stride";
+          if !stride < 1 then fail "%s:%d: stride < 1" file lineno;
+          excess_total := field_float ~file ~lineno line "excess_total";
+          if !excess_total < 0.0 then
+            fail "%s:%d: negative excess_total" file lineno;
+          expect := samples;
+          next_i := 0;
+          committed := 0;
+          last_t := neg_infinity;
+          last_excess := 0.0;
+          incr runs
+      | "\"sample\"" ->
+          if !runs = 0 then
+            fail "%s:%d: sample line without a run header" file lineno;
+          if !expect = 0 then
+            fail "%s:%d: more samples than the header declared" file lineno;
+          decr expect;
+          incr total_samples;
+          let idx = field_int ~file ~lineno line "i" in
+          if idx <> !next_i then
+            fail "%s:%d: sample index %d, want %d" file lineno idx !next_i;
+          incr next_i;
+          let t = field_float ~file ~lineno line "t" in
+          if t < !last_t then
+            fail "%s:%d: time went backwards (%.3f after %.3f)" file lineno
+              t !last_t;
+          last_t := t;
+          let span = field_int ~file ~lineno line "span" in
+          if span <> !stride then
+            fail "%s:%d: span %d, want stride %d" file lineno span !stride;
+          committed := !committed + span;
+          if !committed > !observed then
+            fail "%s:%d: committed spans exceed observed %d" file lineno
+              !observed;
+          let triple key =
+            let v = field_int ~file ~lineno line key in
+            let lo = field_int ~file ~lineno line (key ^ "_min") in
+            let hi = field_int ~file ~lineno line (key ^ "_max") in
+            if not (lo <= v && v <= hi && lo >= 0) then
+              fail "%s:%d: %s envelope violated (%d <= %d <= %d)" file
+                lineno key lo v hi
+          in
+          List.iter triple [ "busy"; "queue"; "demand"; "running" ];
+          let w = field_float ~file ~lineno line "max_wait" in
+          let wlo = field_float ~file ~lineno line "max_wait_min" in
+          let whi = field_float ~file ~lineno line "max_wait_max" in
+          if not (wlo <= w && w <= whi && wlo >= 0.0) then
+            fail "%s:%d: max_wait envelope violated" file lineno;
+          let excess = field_float ~file ~lineno line "excess" in
+          if excess < !last_excess then
+            fail "%s:%d: cumulative excess decreased" file lineno;
+          last_excess := excess
+      | other -> fail "%s:%d: unknown line type %s" file lineno other)
+    lines;
+  finish_run (List.length lines);
+  if !runs = 0 then fail "%s: no run headers" file;
+  Printf.printf "%s: OK (%d runs, %d samples)\n" file !runs !total_samples
+
 (* --- Chrome trace_event document --- *)
 
 let validate_chrome file =
@@ -166,18 +269,105 @@ let validate_chrome file =
   if !events = 0 then fail "%s: no trace events" file;
   Printf.printf "%s: OK (%d events)\n" file !events
 
+(* --- HTML run report --- *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub hay i m = needle then go (i + m) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let read_all file =
+  let lines = read_lines file in
+  String.concat "\n" lines
+
+let validate_html file =
+  let doc = read_all file in
+  if not (starts_with "<!doctype html>" doc) then
+    fail "%s: missing html doctype" file;
+  if not (contains doc "</html>") then fail "%s: unterminated document" file;
+  if contains doc "<script" then
+    fail "%s: report pages must not contain JavaScript" file;
+  if contains doc "href=\"http" || contains doc "src=" then
+    fail "%s: report pages must be self-contained (external reference)" file;
+  if not (contains doc "prefers-color-scheme: dark") then
+    fail "%s: missing dark-mode palette" file;
+  let svgs = count_occurrences doc "<svg" in
+  if contains doc "class=\"chart\"" then begin
+    (* a run-health page: six signal charts, each with at least a line *)
+    if svgs < 6 then fail "%s: %d charts, want >= 6" file svgs;
+    if count_occurrences doc "polyline class=\"line\"" < 6 then
+      fail "%s: charts without data lines" file;
+    if not (contains doc "<table") then fail "%s: missing summary table" file
+  end
+  else if not (contains doc "<table") && svgs = 0 then
+    fail "%s: neither charts nor tables" file;
+  Printf.printf "%s: OK (%d charts)\n" file svgs
+
+(* --- OpenMetrics exposition --- *)
+
+let validate_openmetrics file =
+  let lines = read_lines file in
+  (match List.rev lines with
+  | "# EOF" :: _ -> ()
+  | _ -> fail "%s: exposition must end with # EOF" file);
+  let families = ref 0 and samples = ref 0 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if line = "" then ()
+      else if starts_with "# TYPE " line then begin
+        incr families;
+        match List.rev (String.split_on_char ' ' line) with
+        | ("counter" | "gauge" | "histogram") :: _ -> ()
+        | kind :: _ -> fail "%s:%d: unknown metric type %s" file lineno kind
+        | [] -> assert false
+      end
+      else if starts_with "# HELP " line || line = "# EOF" then ()
+      else if starts_with "#" line then
+        fail "%s:%d: malformed comment line" file lineno
+      else begin
+        (* sample line: name[{labels}] value *)
+        incr samples;
+        match String.rindex_opt line ' ' with
+        | None -> fail "%s:%d: sample line without a value" file lineno
+        | Some sp -> (
+            let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+            match float_of_string_opt v with
+            | Some f when f >= 0.0 || f = neg_infinity -> ()
+            | Some _ -> fail "%s:%d: negative sample value" file lineno
+            | None -> fail "%s:%d: unparsable value %s" file lineno v)
+      end)
+    lines;
+  if !families = 0 then fail "%s: no metric families" file;
+  if !samples = 0 then fail "%s: no samples" file;
+  Printf.printf "%s: OK (%d families, %d samples)\n" file !families !samples
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  if args = [] then fail "usage: validate_trace.exe FILE.jsonl|FILE.json ...";
+  if args = [] then
+    fail "usage: validate_trace.exe FILE.jsonl|FILE.json|FILE.html|FILE.om ...";
   List.iter
     (fun file ->
       let head =
         let ic = try open_in file with Sys_error m -> fail "%s" m in
-        let n = min 16 (in_channel_length ic) in
+        let n = min 64 (in_channel_length ic) in
         let s = really_input_string ic n in
         close_in ic;
         s
       in
       if starts_with "{\"traceEvents\"" head then validate_chrome file
+      else if starts_with "<!doctype" head then validate_html file
+      else if starts_with "#" head then validate_openmetrics file
+      else if contains head "\"schema\":\"run_series/" then
+        validate_series_jsonl file
       else validate_jsonl file)
     args
